@@ -1,0 +1,347 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (one benchmark per experiment,
+// reporting headline numbers as custom metrics) and measure the real Go
+// costs of the per-packet operations priced by Table 1 and Table 2.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// benchScale keeps the figure benchmarks quick; run cmd/benchtab -full
+// for paper-scale sample counts.
+var benchScale = experiments.ScaleTest
+
+// --- §5.2 / Figures 2-4: throughput experiments ----------------------
+
+func BenchmarkFreqSweepVsPktgen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFreqSweep(benchScale, 1)
+		b.ReportMetric(r.MinLineRateFreqMoonGen, "moongen-linerate-GHz")
+		b.ReportMetric(r.MinLineRateFreqPktgen, "pktgen-linerate-GHz")
+		b.ReportMetric(r.PktgenAt15, "pktgen-at-1.5GHz-Mpps")
+	}
+}
+
+func BenchmarkFig2MultiCoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(benchScale, 2)
+		b.ReportMetric(r.Mpps[0], "1core-Mpps")
+		b.ReportMetric(r.Mpps[7], "8core-Mpps")
+	}
+}
+
+func BenchmarkFig3XL710(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3(benchScale, 3)
+		b.ReportMetric(r.WireGbps[1][0], "64B-2core-Gbps")
+		b.ReportMetric(r.WireGbps[1][6], "256B-2core-Gbps")
+	}
+}
+
+func BenchmarkFig4Scaling120G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(benchScale, 4)
+		b.ReportMetric(r.Mpps[11], "12core-Mpps") // paper: 178.5
+	}
+}
+
+func BenchmarkCostEstimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCostEstimate(benchScale, 5)
+		b.ReportMetric(r.PredictedMpps, "predicted-Mpps")
+		b.ReportMetric(r.SimulatedMpps, "simulated-Mpps")
+	}
+}
+
+func BenchmarkPacketSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunSizeSweep(benchScale, 6)
+		b.ReportMetric(r.MppsTx[0], "64B-Mpps")
+		b.ReportMetric(r.MppsTx[len(r.MppsTx)-1], "128B-Mpps")
+	}
+}
+
+// --- Table 1: real Go costs of the basic operations ------------------
+// The paper's Table 1 prices DPDK+LuaJIT operations in CPU cycles; the
+// benches below price this repository's equivalents in ns/op. The
+// *shape* must match: IO dominates, modification is cheap, transport
+// offloads cost more than IP offload.
+
+// benchPair builds a connected port pair outside the timed section.
+func benchPair(seed int64) (*core.App, *core.Device, *core.Device, *mempool.Pool) {
+	app := core.NewApp(seed)
+	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0})
+	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
+	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
+	rx.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
+	pool := core.CreateMemPool(8192, func(m *mempool.Mbuf) {
+		p := proto.UDPPacket{B: m.Data[:60]}
+		p.Fill(proto.UDPPacketFill{PktLength: 60,
+			IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.1.0.1"),
+			UDPSrc: 1234, UDPDst: 5678})
+	})
+	return app, tx, rx, pool
+}
+
+// BenchmarkTable1PacketIO is the baseline: alloc a batch, send it,
+// drive the simulation until transmitted, recycle.
+func BenchmarkTable1PacketIO(b *testing.B) {
+	app, tx, _, pool := benchPair(1)
+	q := tx.GetTxQueue(0)
+	batch := make([]*mempool.Mbuf, 63)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := pool.AllocBatch(batch, 60)
+		app.Eng.Schedule(app.Eng.Now(), func() { q.Send(batch[:n]) })
+		app.Eng.RunAll() // transmit + recycle everything
+	}
+}
+
+func BenchmarkTable1Modification(b *testing.B) {
+	_, _, _, pool := benchPair(2)
+	m := pool.Alloc(60)
+	pkt := proto.UDPPacket{B: m.Payload()}
+	base := proto.MustIPv4("10.0.0.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP().SetSrc(base + proto.IPv4(i&0xff))
+	}
+}
+
+func BenchmarkTable1ModificationTwoCachelines(b *testing.B) {
+	_, _, _, pool := benchPair(3)
+	m := pool.Alloc(124)
+	pkt := proto.UDPPacket{B: m.Payload()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP().SetSrc(proto.IPv4(i))
+		pkt.Payload()[70] = byte(i) // second cacheline
+	}
+}
+
+func BenchmarkTable1OffloadIP(b *testing.B) {
+	_, _, _, pool := benchPair(4)
+	m := pool.Alloc(60)
+	ip := proto.UDPPacket{B: m.Payload()}.IP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip.CalcChecksum() // what the offload engine executes
+	}
+}
+
+func BenchmarkTable1OffloadUDP(b *testing.B) {
+	_, _, _, pool := benchPair(5)
+	m := pool.Alloc(60)
+	pkt := proto.UDPPacket{B: m.Payload()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.CalcChecksums()
+	}
+}
+
+func BenchmarkTable1OffloadTCP(b *testing.B) {
+	_, _, _, pool := benchPair(6)
+	m := pool.Alloc(60)
+	pkt := proto.TCPPacket{B: m.Payload()}
+	pkt.Fill(proto.TCPPacketFill{PktLength: 60,
+		IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.1.0.1"),
+		TCPSrc: 1, TCPDst: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.CalcChecksums()
+	}
+}
+
+// --- Table 2: randomized versus counter-based field variation --------
+
+func benchFields(b *testing.B, fields int, useRand bool) {
+	buf := make([]byte, 60)
+	pkt := proto.UDPPacket{B: buf}
+	pkt.Fill(proto.UDPPacketFill{PktLength: 60})
+	rng := rand.New(rand.NewSource(1))
+	var ctr uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < fields; f++ {
+			var v uint32
+			if useRand {
+				v = rng.Uint32()
+			} else {
+				ctr++
+				v = ctr
+			}
+			switch f & 3 {
+			case 0:
+				pkt.IP().SetSrc(proto.IPv4(v))
+			case 1:
+				pkt.IP().SetDst(proto.IPv4(v))
+			case 2:
+				pkt.UDP().SetSrcPort(uint16(v))
+			case 3:
+				pkt.UDP().SetDstPort(uint16(v))
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Rand1Field(b *testing.B)    { benchFields(b, 1, true) }
+func BenchmarkTable2Rand2Fields(b *testing.B)   { benchFields(b, 2, true) }
+func BenchmarkTable2Rand4Fields(b *testing.B)   { benchFields(b, 4, true) }
+func BenchmarkTable2Rand8Fields(b *testing.B)   { benchFields(b, 8, true) }
+func BenchmarkTable2Counter1Field(b *testing.B) { benchFields(b, 1, false) }
+func BenchmarkTable2Counter2Fields(b *testing.B) {
+	benchFields(b, 2, false)
+}
+func BenchmarkTable2Counter4Fields(b *testing.B) {
+	benchFields(b, 4, false)
+}
+func BenchmarkTable2Counter8Fields(b *testing.B) {
+	benchFields(b, 8, false)
+}
+
+// --- §6 / Table 3: timestamping -------------------------------------
+
+func BenchmarkTable3Timestamping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale
+		scale.Probes = 300
+		r := experiments.RunTable3(scale, 7)
+		b.ReportMetric(r.FiberK, "fiber-k-ns")     // paper: 310.7
+		b.ReportMetric(r.FiberVPc, "fiber-vp-c")   // paper: 0.72
+		b.ReportMetric(r.CopperK, "copper-k-ns")   // paper: 2147.2
+		b.ReportMetric(r.CopperVPc, "copper-vp-c") // paper: 0.69
+	}
+}
+
+func BenchmarkClockSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunClockSync(benchScale, 8)
+		b.ReportMetric(r.MaxErrorNS, "worst-sync-error-ns") // paper: ≤19.2
+	}
+}
+
+func BenchmarkClockDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunDrift(benchScale, 9)
+		b.ReportMetric(r.MeasuredPPM, "drift-us-per-s") // paper: 35
+	}
+}
+
+// --- §7 / Figures 7-8, Table 4: rate control -------------------------
+
+func BenchmarkFig7InterruptRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7(benchScale, 11)
+		peak := 0.0
+		for _, v := range r.MoonGen {
+			if v > peak {
+				peak = v
+			}
+		}
+		b.ReportMetric(peak, "moongen-peak-Hz") // paper: ~1.5e5
+		b.ReportMetric(r.Zsend[4], "zsend-1Mpps-Hz")
+	}
+}
+
+func BenchmarkFig8InterArrival(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale
+		scale.Samples = 20000
+		r := experiments.RunTable4(scale, 10)
+		for _, c := range r.Cells {
+			if c.Generator == experiments.GenMoonGen && c.RateKpps == 500 {
+				b.ReportMetric(c.Within[64]*100, "moongen-500k-within64ns-pct") // paper: 49.9
+			}
+			if c.Generator == experiments.GenZsend && c.RateKpps == 500 {
+				b.ReportMetric(c.MicroBurst*100, "zsend-500k-microburst-pct") // paper: 28.6
+			}
+		}
+	}
+}
+
+func BenchmarkFig10RateControlEquivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10(benchScale, 12)
+		worst := 0.0
+		for q := 0; q < 3; q++ {
+			for _, d := range r.RelDev[q] {
+				if d < 0 {
+					d = -d
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		b.ReportMetric(worst, "worst-quartile-dev-pct") // paper: ≤1.5
+	}
+}
+
+func BenchmarkFig11CBRvsPoisson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig11(benchScale, 13)
+		last := len(r.Loads) - 1
+		b.ReportMetric(r.CBR[0][1], "cbr-0.1Mpps-median-us")
+		b.ReportMetric(r.Poisson[len(r.Poisson)-2][1], "poisson-2.0Mpps-median-us")
+		b.ReportMetric(r.CBR[last][1], "overload-median-us") // paper: ~2000
+	}
+}
+
+// --- Mechanism microbenches ------------------------------------------
+
+// BenchmarkCRCGapScheduling prices the §8 gap computation itself.
+func BenchmarkCRCGapScheduling(b *testing.B) {
+	g := rate.NewGapFiller(wire.ByteTime(wire.Speed10G))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.FillGap(int64(800 + i%1000))
+	}
+}
+
+// BenchmarkSimulatedLineRate measures simulator throughput: simulated
+// packets per wall-clock second at 10 GbE line rate.
+func BenchmarkSimulatedLineRate(b *testing.B) {
+	app, tx, _, pool := benchPair(20)
+	q := tx.GetTxQueue(0)
+	app.LaunchTask("tx", func(t *core.Task) {
+		bufs := pool.BufArray(63)
+		for t.Running() {
+			n := t.AllocAll(bufs, 60)
+			if n == 0 {
+				break
+			}
+			t.SendAll(q, bufs.Bufs[:n])
+		}
+	})
+	b.ResetTimer()
+	// One iteration = 1 simulated millisecond ≈ 14880 packets.
+	for i := 0; i < b.N; i++ {
+		app.Eng.SetRunFor(sim.Millisecond)
+		app.Eng.Run(app.Eng.Now().Add(sim.Millisecond))
+	}
+	b.StopTimer()
+	st := tx.GetStats()
+	b.ReportMetric(float64(st.TxPackets)/float64(b.N), "sim-pkts/iter")
+}

@@ -1,0 +1,78 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation from the simulated testbed and prints the same rows/series
+// the paper reports, annotated with the paper's values.
+//
+// Usage:
+//
+//	benchtab [-exp all|freq-sweep|fig2|fig3|fig4|table1|table2|cost-estimate|
+//	          size-sweep|table3|clocksync|drift|fig7|fig8|fig10|fig11]
+//	         [-full] [-seed 1]
+//
+// -full switches from the fast test scale to sample counts approaching
+// the paper's (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
+		full = flag.Bool("full", false, "run at full scale (paper-like sample counts)")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	scale := experiments.ScaleTest
+	if *full {
+		scale = experiments.ScaleFull
+	}
+
+	runners := []struct {
+		id string
+		fn func()
+	}{
+		{"freq-sweep", func() { experiments.RunFreqSweep(scale, *seed).Print(os.Stdout) }},
+		{"fig2", func() { experiments.RunFig2(scale, *seed).Print(os.Stdout) }},
+		{"fig3", func() { experiments.RunFig3(scale, *seed).Print(os.Stdout) }},
+		{"fig4", func() { experiments.RunFig4(scale, *seed).Print(os.Stdout) }},
+		{"table1", func() { experiments.RunTable1().Print(os.Stdout) }},
+		{"table2", func() { experiments.RunTable2().Print(os.Stdout) }},
+		{"cost-estimate", func() { experiments.RunCostEstimate(scale, *seed).Print(os.Stdout) }},
+		{"size-sweep", func() { experiments.RunSizeSweep(scale, *seed).Print(os.Stdout) }},
+		{"table3", func() { experiments.RunTable3(scale, *seed).Print(os.Stdout) }},
+		{"clocksync", func() { experiments.RunClockSync(scale, *seed).Print(os.Stdout) }},
+		{"drift", func() { experiments.RunDrift(scale, *seed).Print(os.Stdout) }},
+		{"fig7", func() { experiments.RunFig7(scale, *seed).Print(os.Stdout) }},
+		{"fig8", func() { experiments.RunTable4(scale, *seed).Print(os.Stdout) }},
+		{"fig10", func() { experiments.RunFig10(scale, *seed).Print(os.Stdout) }},
+		{"fig11", func() { experiments.RunFig11(scale, *seed).Print(os.Stdout) }},
+	}
+
+	want := map[string]bool{}
+	all := *exp == "all"
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, r := range runners {
+		if all || want[r.id] {
+			fmt.Printf("\n### %s\n", r.id)
+			r.fn()
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:\n", *exp)
+		for _, r := range runners {
+			fmt.Fprintf(os.Stderr, "  %s\n", r.id)
+		}
+		os.Exit(2)
+	}
+}

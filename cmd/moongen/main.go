@@ -1,0 +1,130 @@
+// Command moongen runs named packet-generation scenarios on the
+// simulated testbed — the CLI face of the library, loosely mirroring
+// `MoonGen <script.lua> <args>`. Each scenario corresponds to one of
+// the example scripts shipped with the original tool.
+//
+// Usage:
+//
+//	moongen <scenario> [flags]
+//
+// Scenarios:
+//
+//	flood        line-rate UDP flood with randomized source IPs
+//	cbr          hardware-rate-controlled CBR stream
+//	poisson      Poisson traffic via CRC-gap software rate control
+//	bursts       bursty traffic (l2-bursts.lua)
+//	latency      hardware-timestamped latency measurement
+//
+// Flags after the scenario: -rate (Mpps), -size (bytes, without FCS),
+// -runtime (ms), -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	scenario := os.Args[1]
+	fs := flag.NewFlagSet(scenario, flag.ExitOnError)
+	var (
+		rateMpps = fs.Float64("rate", 1.0, "rate [Mpps] (0 = line rate where applicable)")
+		size     = fs.Int("size", 60, "frame size without FCS")
+		runMS    = fs.Float64("runtime", 50, "simulated run time [ms]")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		burst    = fs.Int("burst", 16, "burst size for the bursts scenario")
+	)
+	_ = fs.Parse(os.Args[2:])
+
+	app := core.NewApp(*seed)
+	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
+	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
+	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
+
+	pktSize := *size
+	fill := func(m *mempool.Mbuf, i uint64) {
+		p := proto.UDPPacket{B: m.Payload()}
+		p.Fill(proto.UDPPacketFill{
+			PktLength: pktSize,
+			EthSrc:    tx.MAC(), EthDst: rx.MAC(),
+			IPSrc: proto.MustIPv4("10.0.0.1") + proto.IPv4(i%256), IPDst: proto.MustIPv4("10.1.0.1"),
+			UDPSrc: 1234, UDPDst: 5678,
+		})
+	}
+
+	// Discard receive traffic so rings don't fill.
+	app.LaunchTask("rx-drain", func(t *core.Task) {
+		bufs := make([]*mempool.Mbuf, 512)
+		for t.Running() {
+			if n := rx.GetRxQueue(0).Recv(bufs); n > 0 {
+				core.FreeBatch(bufs, n)
+			} else {
+				t.Sleep(20 * sim.Microsecond)
+			}
+		}
+	})
+
+	switch scenario {
+	case "flood":
+		pool := core.CreateMemPool(4096, func(m *mempool.Mbuf) { m.Len = pktSize; fill(m, 0) })
+		flood := &core.UDPFlood{
+			Queue: tx.GetTxQueue(0), PktSize: pktSize,
+			BaseIP: proto.MustIPv4("10.0.0.1"), Pool: pool,
+		}
+		app.LaunchTask("flood", flood.Run)
+	case "cbr":
+		h := &core.HWRateTx{Queue: tx.GetTxQueue(0), PPS: *rateMpps * 1e6, PktSize: pktSize, Fill: fill}
+		app.LaunchTask("cbr", h.Run)
+	case "poisson":
+		g := &core.GapTx{Queue: tx.GetTxQueue(0), Pattern: rate.NewPoissonPPS(*rateMpps * 1e6), PktSize: pktSize, Fill: fill}
+		app.LaunchTask("poisson", g.Run)
+	case "bursts":
+		b2b := wire.FrameTime(wire.Speed10G, pktSize+proto.FCSLen)
+		pat := &rate.Bursts{Size: *burst, AvgInterval: sim.FromSeconds(1 / (*rateMpps * 1e6)), BackToBack: b2b}
+		g := &core.GapTx{Queue: tx.GetTxQueue(0), Pattern: pat, PktSize: pktSize, Fill: fill}
+		app.LaunchTask("bursts", g.Run)
+	case "latency":
+		h := &core.HWRateTx{Queue: tx.GetTxQueue(0), PPS: *rateMpps * 1e6, PktSize: pktSize, Fill: fill}
+		app.LaunchTask("load", h.Run)
+		ts := core.NewTimestamper(tx.GetTxQueue(1), rx.Port)
+		app.LaunchTask("latency", func(t *core.Task) {
+			hist := ts.MeasureLatency(t, 500, 50*sim.Microsecond)
+			fmt.Printf("latency: median %.1f ns, min %.1f, max %.1f over %d probes\n",
+				hist.Median().Nanoseconds(), hist.Min().Nanoseconds(),
+				hist.Max().Nanoseconds(), hist.Count())
+		})
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	window := sim.FromSeconds(*runMS / 1e3)
+	var atStop nic.Stats
+	app.Eng.Schedule(sim.Time(window), func() { atStop = rx.GetStats() })
+	app.RunFor(window)
+
+	secs := window.Seconds()
+	fmt.Printf("scenario=%s: rx %.3f Mpps (%.2f Gbit/s wire), crc-dropped %d, missed %d\n",
+		scenario,
+		float64(atStop.RxPackets)/secs/1e6,
+		float64(atStop.RxBytes+atStop.RxPackets*(proto.FCSLen+proto.WireOverhead))*8/secs/1e9,
+		atStop.RxCRCErrors, atStop.RxMissed)
+	os.Exit(0)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: moongen <flood|cbr|poisson|bursts|latency> [-rate M] [-size B] [-runtime MS] [-seed N]")
+}

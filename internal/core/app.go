@@ -1,0 +1,161 @@
+// Package core is the MoonGen API: devices with hardware queues, tasks
+// (the Go analogue of Lua slave tasks in their own VMs), inter-task
+// pipes, blocking batch send/receive, checksum offloading helpers,
+// hardware-timestamped latency measurement, and the CRC-gap software
+// rate control — everything a "userscript" needs, structured after the
+// paper's Listings 1-3.
+package core
+
+import (
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// App owns the simulated testbed: engine, devices and tasks. It plays
+// the role of MoonGen's master task: configure devices, launch slaves,
+// wait for them (Listing 1).
+type App struct {
+	Eng   *sim.Engine
+	tasks []*sim.Proc
+}
+
+// NewApp creates an App with a deterministic seed.
+func NewApp(seed int64) *App {
+	return &App{Eng: sim.NewEngine(seed)}
+}
+
+// Task is the execution context handed to slave functions — MoonGen's
+// per-task Lua VM. It embeds the simulation process (Sleep/Yield/
+// Running) and adds the blocking packet-IO idioms.
+type Task struct {
+	*sim.Proc
+	app *App
+}
+
+// LaunchTask starts fn as a new task — mg.launchLua("slave", args...)
+// with the args captured by the closure.
+func (a *App) LaunchTask(name string, fn func(t *Task)) {
+	p := a.Eng.Spawn(name, func(p *sim.Proc) {
+		fn(&Task{Proc: p, app: a})
+	})
+	a.tasks = append(a.tasks, p)
+}
+
+// RunFor runs the simulation for d of simulated time, then drains
+// remaining events (tasks observe Running()==false and finalize) —
+// master-task mg.waitForSlaves with a run limit.
+func (a *App) RunFor(d sim.Duration) {
+	a.Eng.SetRunFor(d)
+	a.Eng.RunAll()
+}
+
+// Run runs until all tasks finish on their own.
+func (a *App) Run() { a.Eng.RunAll() }
+
+// Now returns the current simulated time.
+func (a *App) Now() sim.Time { return a.Eng.Now() }
+
+// backoff is the polling interval for busy-wait loops. DPDK
+// applications busy-poll (§5.1); one µs keeps simulated polling cheap
+// while staying far below any timing scale under test.
+const backoff = sim.Microsecond
+
+// SendAll enqueues the whole batch, busy-waiting while the descriptor
+// ring is full — the blocking behaviour of MoonGen's queue:send(bufs).
+// It returns the number actually sent; a short count happens only when
+// the run ends mid-send (remaining buffers are freed).
+func (t *Task) SendAll(q *nic.TxQueue, bufs []*mempool.Mbuf) int {
+	sent := 0
+	for sent < len(bufs) {
+		n := q.Send(bufs[sent:])
+		sent += n
+		if sent == len(bufs) {
+			break
+		}
+		if !t.Running() {
+			for _, m := range bufs[sent:] {
+				m.Free()
+			}
+			break
+		}
+		t.Sleep(backoff)
+	}
+	return sent
+}
+
+// AllocAll fills the whole BufArray, waiting for buffers to recycle if
+// the pool is momentarily dry (all buffers in flight to the NIC).
+func (t *Task) AllocAll(ba *mempool.BufArray, size int) int {
+	for {
+		n := ba.Alloc(size)
+		if n == ba.Len() || !t.Running() {
+			return n
+		}
+		// Return the partial allocation and retry for a full batch.
+		for i := 0; i < n; i++ {
+			ba.Bufs[i].Free()
+			ba.Bufs[i] = nil
+		}
+		t.Sleep(backoff)
+	}
+}
+
+// RecvPoll receives a burst, polling until at least one packet arrives
+// or the run ends — the counterSlave loop of Listing 3.
+func (t *Task) RecvPoll(q *nic.RxQueue, out []*mempool.Mbuf) int {
+	for {
+		if n := q.Recv(out); n > 0 {
+			return n
+		}
+		if !t.Running() {
+			// Final drain.
+			return q.Recv(out)
+		}
+		t.Sleep(backoff)
+	}
+}
+
+// Pipe is a MoonGen inter-task pipe: tasks share no state except these
+// explicit channels (§3.4).
+type Pipe struct {
+	q *ring.MPMC[interface{}]
+}
+
+// NewPipe creates a pipe with the given capacity.
+func NewPipe(capacity int) *Pipe {
+	return &Pipe{q: ring.NewMPMC[interface{}](capacity)}
+}
+
+// Send blocks until v is enqueued or the run ends (returns false).
+func (p *Pipe) Send(t *Task, v interface{}) bool {
+	for {
+		if p.q.EnqueueOne(v) {
+			return true
+		}
+		if !t.Running() {
+			return false
+		}
+		t.Sleep(backoff)
+	}
+}
+
+// TrySend enqueues without blocking.
+func (p *Pipe) TrySend(v interface{}) bool { return p.q.EnqueueOne(v) }
+
+// Recv blocks until a value arrives or the run ends.
+func (p *Pipe) Recv(t *Task) (interface{}, bool) {
+	for {
+		if v, ok := p.q.DequeueOne(); ok {
+			return v, true
+		}
+		if !t.Running() {
+			return p.q.DequeueOne()
+		}
+		t.Sleep(backoff)
+	}
+}
+
+// TryRecv dequeues without blocking.
+func (p *Pipe) TryRecv() (interface{}, bool) { return p.q.DequeueOne() }

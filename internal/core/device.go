@@ -1,0 +1,143 @@
+package core
+
+import (
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Device wraps a NIC port with the MoonGen device API surface
+// (Listing 1: device.config, getTxQueue, getRxQueue, setRate).
+type Device struct {
+	*nic.Port
+}
+
+// DeviceConfig mirrors device.config(port, rxQueues, txQueues).
+type DeviceConfig struct {
+	Profile  nic.Profile
+	ID       int
+	RxQueues int
+	TxQueues int
+	// DriftPPM desynchronizes this device's PTP clock (for drift
+	// experiments; 0 for none).
+	DriftPPM float64
+	// RxRing/TxRing override descriptor ring sizes.
+	RxRing int
+	TxRing int
+	// RxPool overrides the receive pool size.
+	RxPool int
+}
+
+// ConfigDevice creates and configures a device on the app's testbed.
+func (a *App) ConfigDevice(cfg DeviceConfig) *Device {
+	port := nic.NewPort(a.Eng, nic.PortConfig{
+		Profile:       cfg.Profile,
+		ID:            cfg.ID,
+		RxQueues:      cfg.RxQueues,
+		TxQueues:      cfg.TxQueues,
+		RxRingSize:    cfg.RxRing,
+		TxRingSize:    cfg.TxRing,
+		RxPoolSize:    cfg.RxPool,
+		ClockDriftPPM: cfg.DriftPPM,
+	})
+	return &Device{Port: port}
+}
+
+// ConnectDevices cables two devices together (both directions) with the
+// given PHY and cable length — the physical testbed setup step.
+func (a *App) ConnectDevices(x, y *Device, phy wire.PHYProfile, lengthM float64) {
+	nic.ConnectDuplex(a.Eng, x.Port, y.Port, phy, lengthM)
+}
+
+// WaitForLinks mirrors device.waitForLinks(). Links in the simulation
+// are up as soon as they are connected, so this is a yield point only —
+// kept so ported scripts read the same.
+func (t *Task) WaitForLinks(...*Device) { t.Yield() }
+
+// CreateMemPool mirrors memory.createMemPool(prefillFn): every buffer
+// runs the callback once at creation (Listing 2 lines 3-12).
+func CreateMemPool(count int, prefill func(buf *mempool.Mbuf)) *mempool.Pool {
+	return mempool.New(mempool.Config{Count: count, Prefill: prefill})
+}
+
+// OffloadIPChecksums marks the first n buffers for IPv4 header checksum
+// offload (bufs:offloadIPChecksums()).
+func OffloadIPChecksums(bufs []*mempool.Mbuf, n int) {
+	for _, m := range bufs[:n] {
+		m.TxMeta.OffloadIPChecksum = true
+	}
+}
+
+// OffloadUDPChecksums marks the first n buffers for UDP (and IP)
+// checksum offload — Listing 2 line 22. As on the real X540, the
+// transport offload implies computing the IP pseudo-header part
+// (Table 1 prices this at 33.1 cycles/packet).
+func OffloadUDPChecksums(bufs []*mempool.Mbuf, n int) {
+	for _, m := range bufs[:n] {
+		m.TxMeta.OffloadIPChecksum = true
+		m.TxMeta.OffloadUDPChecksum = true
+	}
+}
+
+// OffloadTCPChecksums marks the first n buffers for TCP (and IP)
+// checksum offload.
+func OffloadTCPChecksums(bufs []*mempool.Mbuf, n int) {
+	for _, m := range bufs[:n] {
+		m.TxMeta.OffloadIPChecksum = true
+		m.TxMeta.OffloadTCPChecksum = true
+	}
+}
+
+// FreeBatch frees the first n buffers of a batch.
+func FreeBatch(bufs []*mempool.Mbuf, n int) {
+	for i := 0; i < n; i++ {
+		if bufs[i] != nil {
+			bufs[i].Free()
+			bufs[i] = nil
+		}
+	}
+}
+
+// UDPFlood is the Listing 2 loadSlave as a reusable task body: allocate
+// batches from a prefilled pool, randomize the source IP over 256
+// addresses, offload checksums, send. Stop via the app run limit.
+type UDPFlood struct {
+	Queue   *nic.TxQueue
+	PktSize int
+	BaseIP  proto.IPv4
+	// Randomize is the number of low source-IP values to cycle through
+	// (256 in §5.2's comparison).
+	Randomize int
+	// Pool must be prefilled with the packet template.
+	Pool *mempool.Pool
+	// Batch is the bufArray size (default 63).
+	Batch int
+
+	// Sent counts transmitted packets.
+	Sent uint64
+}
+
+// Run executes the flood until the run ends.
+func (u *UDPFlood) Run(t *Task) {
+	if u.Batch <= 0 {
+		u.Batch = mempool.DefaultBatchSize
+	}
+	if u.Randomize <= 0 {
+		u.Randomize = 256
+	}
+	bufs := u.Pool.BufArray(u.Batch)
+	rng := t.Engine().Rand()
+	for t.Running() {
+		n := t.AllocAll(bufs, u.PktSize)
+		if n == 0 {
+			break
+		}
+		for _, m := range bufs.Slice(n) {
+			pkt := proto.UDPPacket{B: m.Payload()}
+			pkt.IP().SetSrc(u.BaseIP + proto.IPv4(rng.Intn(u.Randomize)))
+		}
+		OffloadUDPChecksums(bufs.Bufs, n)
+		u.Sent += uint64(t.SendAll(u.Queue, bufs.Bufs[:n]))
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/rate"
+	"repro/internal/wire"
+)
+
+// GapTx is the paper's novel software rate control (§8): the wire is
+// kept completely saturated; gaps between real packets are filled with
+// invalid frames (bad FCS, sometimes sub-minimum length) whose lengths
+// define the inter-departure times exactly. Because the transmit queue
+// never runs dry, DMA timing is irrelevant — precision is the line's
+// byte granularity, 0.8 ns at 10 GbE.
+type GapTx struct {
+	Queue   *nic.TxQueue
+	Pattern rate.Pattern
+	// PktSize is the real frame size without FCS.
+	PktSize int
+	// Fill crafts each real packet (sequence number i).
+	Fill func(m *mempool.Mbuf, i uint64)
+	// MinFillerWire overrides the 76-byte filler floor (§8.1).
+	MinFillerWire int
+
+	// Sent counts real packets, Fillers invalid ones.
+	Sent    uint64
+	Fillers uint64
+	// SkippedGaps counts gaps below the representable minimum that
+	// were folded into later gaps (§8.4).
+	SkippedGaps uint64
+}
+
+// Run transmits until the run ends. It must run as its own task.
+func (g *GapTx) Run(t *Task) {
+	port := g.Queue.Port()
+	byteTime := wire.ByteTime(port.Speed())
+	filler := rate.NewGapFiller(byteTime)
+	if g.MinFillerWire > 0 {
+		filler.MinFillerWire = g.MinFillerWire
+	}
+
+	pool := mempool.New(mempool.Config{Count: 2048})
+	rng := t.Engine().Rand()
+	realWire := int64(g.PktSize + proto.FCSLen + proto.WireOverhead)
+
+	var i uint64
+	for t.Running() {
+		m := pool.Alloc(g.PktSize)
+		if m == nil {
+			t.Sleep(backoff)
+			continue
+		}
+		if g.Fill != nil {
+			g.Fill(m, i)
+		}
+		if t.SendAll(g.Queue, []*mempool.Mbuf{m}) != 1 {
+			break
+		}
+		g.Sent++
+		i++
+
+		gapBytes := filler.GapToWireBytes(g.Pattern.NextGap(rng)) - realWire
+		before := filler.Skipped
+		for _, wireLen := range filler.FillGap(gapBytes) {
+			frameLen := wireLen - proto.FCSLen - proto.WireOverhead
+			fm := pool.Alloc(frameLen)
+			for fm == nil {
+				t.Sleep(backoff)
+				fm = pool.Alloc(frameLen)
+			}
+			// Filler frames carry a broken FCS so the DuT's NIC
+			// drops them in hardware without any software activity.
+			proto.EthHdr(fm.Payload()[:proto.EthHdrLen]).Fill(proto.EthFill{
+				Src: port.MAC(), Dst: proto.BroadcastMAC, EtherType: 0x0000,
+			})
+			fm.TxMeta.InvalidCRC = true
+			if t.SendAll(g.Queue, []*mempool.Mbuf{fm}) != 1 {
+				return
+			}
+			g.Fillers++
+		}
+		g.SkippedGaps += filler.Skipped - before
+	}
+}
+
+// PushTx models the classic software rate control of existing packet
+// generators (§7.1): push one packet at a time at explicitly chosen
+// times and hope the NIC's DMA engine mirrors them onto the wire. The
+// Pattern supplies the (jittery) inter-departure process — use
+// rate.SoftPush for a Pktgen-DPDK-like generator or rate.Bursty for a
+// zsend-like one. The queue must be unshaped: with at most one packet
+// in flight, the wire departure tracks the push time.
+type PushTx struct {
+	Queue   *nic.TxQueue
+	Pattern rate.Pattern
+	PktSize int
+	Fill    func(m *mempool.Mbuf, i uint64)
+
+	Sent uint64
+}
+
+// Run transmits until the run ends. It must run as its own task.
+func (p *PushTx) Run(t *Task) {
+	pool := mempool.New(mempool.Config{Count: 512})
+	rng := t.Engine().Rand()
+	next := t.Now()
+	var i uint64
+	for t.Running() {
+		next = next.Add(p.Pattern.NextGap(rng))
+		t.SleepUntil(next)
+		if !t.Running() {
+			break
+		}
+		m := pool.Alloc(p.PktSize)
+		if m == nil {
+			continue // overload: the generator drops, like the original
+		}
+		if p.Fill != nil {
+			p.Fill(m, i)
+		}
+		if !p.Queue.SendOne(m) {
+			m.Free()
+			continue
+		}
+		p.Sent++
+		i++
+	}
+}
+
+// HWRateTx drives a hardware-rate-controlled queue (§7.2): the queue's
+// shaper is configured and the descriptor ring is simply kept full —
+// "the software can keep all available queues completely filled and the
+// generated timing is up to the NIC".
+type HWRateTx struct {
+	Queue   *nic.TxQueue
+	PPS     float64
+	PktSize int
+	Fill    func(m *mempool.Mbuf, i uint64)
+
+	Sent uint64
+}
+
+// Run transmits until the run ends. It must run as its own task.
+func (h *HWRateTx) Run(t *Task) {
+	h.Queue.SetRatePPS(h.PPS)
+	pool := mempool.New(mempool.Config{Count: 4096})
+	var i uint64
+	for t.Running() {
+		m := pool.Alloc(h.PktSize)
+		if m == nil {
+			t.Sleep(backoff)
+			continue
+		}
+		if h.Fill != nil {
+			h.Fill(m, i)
+		}
+		if t.SendAll(h.Queue, []*mempool.Mbuf{m}) != 1 {
+			break
+		}
+		h.Sent++
+		i++
+	}
+}

@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTable2Lookup(t *testing.T) {
+	if c := RandFieldCycles(1); c != 32.3 {
+		t.Fatalf("rand 1 field = %f", c)
+	}
+	if c := RandFieldCycles(8); c != 133.5 {
+		t.Fatalf("rand 8 fields = %f", c)
+	}
+	if c := CounterFieldCycles(4); c != 38.1 {
+		t.Fatalf("counter 4 fields = %f", c)
+	}
+	if c := RandFieldCycles(0); c != 0 {
+		t.Fatalf("0 fields = %f", c)
+	}
+	// Interpolation between 2 and 4 fields.
+	c3 := RandFieldCycles(3)
+	if c3 <= 39.8 || c3 >= 66.0 {
+		t.Fatalf("rand 3 fields = %f, want between 39.8 and 66.0", c3)
+	}
+	// Extrapolation beyond 8 fields uses the last marginal cost.
+	c16 := RandFieldCycles(16)
+	if c16 <= 133.5 {
+		t.Fatalf("rand 16 fields = %f", c16)
+	}
+}
+
+func TestBaselineIdentity(t *testing.T) {
+	// Table 2's baseline (85.1) is packet IO + one modification.
+	if got := CostPacketIO + CostModify; math.Abs(got-CostBaselineConstant) > 1e-9 {
+		t.Fatalf("IO+modify = %f, want %f", got, CostBaselineConstant)
+	}
+}
+
+// TestSimpleWorkloadLineRateAt1500MHz is the §5.2 headline: MoonGen
+// saturates 10 GbE (14.88 Mpps) at 1.5 GHz.
+func TestSimpleWorkloadLineRateAt1500MHz(t *testing.T) {
+	pps := SimpleUDPWorkload.PPS(1.5 * GHz)
+	if pps < 14.88e6 {
+		t.Fatalf("MoonGen at 1.5 GHz: %.2f Mpps < line rate", pps/1e6)
+	}
+	// And at 1.4 GHz it must NOT reach line rate (1.5 was the minimum).
+	if pps := SimpleUDPWorkload.PPS(1.4 * GHz); pps >= 14.88e6 {
+		t.Fatalf("MoonGen at 1.4 GHz: %.2f Mpps >= line rate", pps/1e6)
+	}
+}
+
+// TestPktgenNeeds1700MHz: Pktgen-DPDK required 1.7 GHz for line rate and
+// achieved 14.12 Mpps at 1.5 GHz (§5.2).
+func TestPktgenNeeds1700MHz(t *testing.T) {
+	at15 := PktgenDPDKWorkload.PPS(1.5 * GHz)
+	if math.Abs(at15-14.12e6) > 0.15e6 {
+		t.Fatalf("Pktgen at 1.5 GHz = %.2f Mpps, want ~14.12", at15/1e6)
+	}
+	if pps := PktgenDPDKWorkload.PPS(1.6 * GHz); pps >= 14.88e6 {
+		t.Fatalf("Pktgen at 1.6 GHz = %.2f Mpps, should be below line rate", pps/1e6)
+	}
+	if pps := PktgenDPDKWorkload.PPS(1.7 * GHz); pps < 14.88e6 {
+		t.Fatalf("Pktgen at 1.7 GHz = %.2f Mpps, should reach line rate", pps/1e6)
+	}
+}
+
+// TestHeavyWorkloadEstimate reproduces §5.6.3: 229.2±3.9 cycles/pkt and
+// 10.47±0.18 Mpps at 2.4 GHz.
+func TestHeavyWorkloadEstimate(t *testing.T) {
+	c := HeavyRandomWorkload.Cycles()
+	if math.Abs(c-229.2) > 0.5 {
+		t.Fatalf("heavy workload = %f cycles, want 229.2", c)
+	}
+	pps := HeavyRandomWorkload.PPS(2.4 * GHz)
+	if math.Abs(pps-10.47e6) > 0.1e6 {
+		t.Fatalf("predicted pps = %.3f M, want 10.47", pps/1e6)
+	}
+	std := HeavyRandomWorkload.PPSPredictionStd(2.4 * GHz)
+	if std < 0.05e6 || std > 0.35e6 {
+		t.Fatalf("prediction std = %.3f Mpps, want ~0.18", std/1e6)
+	}
+	// The measured 10.3 Mpps must fall within ~1 sigma of prediction.
+	if math.Abs(pps-10.3e6) > 2*std {
+		t.Fatalf("measured 10.3 Mpps not within 2 sigma of %.2f±%.2f", pps/1e6, std/1e6)
+	}
+}
+
+func TestCyclesStdPropagation(t *testing.T) {
+	// A workload with only IO has the IO stddev.
+	w := Workload{Name: "io-only"}
+	if s := w.CyclesStd(); math.Abs(s-CostPacketIOStd) > 1e-6 {
+		t.Fatalf("io-only std = %f", s)
+	}
+	// Adding components grows the stddev (RSS).
+	w2 := Workload{RandFields: 8, Offload: OffloadUDP}
+	if w2.CyclesStd() <= w.CyclesStd() {
+		t.Fatal("std did not grow with components")
+	}
+}
+
+func TestTimePerPacket(t *testing.T) {
+	w := Workload{ExtraCycles: 24} // 76+24 = 100 cycles
+	d := w.TimePerPacket(2 * GHz)
+	if d != 50*sim.Nanosecond {
+		t.Fatalf("time/pkt = %v, want 50ns", d)
+	}
+	// Memory stall adds frequency-independent time.
+	w.MemStallNS = 10
+	if d := w.TimePerPacket(2 * GHz); d != 60*sim.Nanosecond {
+		t.Fatalf("time/pkt with stall = %v, want 60ns", d)
+	}
+}
+
+func TestOffloadCycles(t *testing.T) {
+	if OffloadNone.Cycles() != 0 {
+		t.Fatal("none != 0")
+	}
+	if OffloadIP.Cycles() != 15.2 || OffloadUDP.Cycles() != 33.1 || OffloadTCP.Cycles() != 34.0 {
+		t.Fatal("offload costs wrong")
+	}
+}
+
+// TestCounterCheaperThanRand encodes the paper's recommendation:
+// wrapping counters beat random number generation at every field count.
+func TestCounterCheaperThanRand(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		if CounterFieldCycles(n) >= RandFieldCycles(n) {
+			t.Fatalf("counter not cheaper at %d fields", n)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, v := range []float64{0, 1, 2, 100, 15.21} {
+		if got, want := sqrt(v), math.Sqrt(v); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sqrt(%f) = %f, want %f", v, got, want)
+		}
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	s := HeavyRandomWorkload.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,293 @@
+// Package mempool implements DPDK-style packet buffer management:
+// fixed-size buffers (Mbuf) allocated from preallocated pools, with a
+// per-buffer prefill callback and batch wrappers (BufArray).
+//
+// The object model deliberately matches the one the paper's §4.2
+// analyses: the transmit function is asynchronous, so a buffer handed to
+// the NIC must not be touched until the NIC reports completion; buffers
+// are recycled through the pool without erasing their contents, which is
+// why a prefill callback at pool creation time plus per-packet
+// modification of only the fields that change is the efficient pattern.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultBufSize is the data room of a buffer: enough for a 1518 B
+// Ethernet frame plus headroom, rounded like DPDK's 2 kB mbufs.
+const DefaultBufSize = 2048
+
+// DefaultBatchSize is the conventional burst size used by bufArrays.
+const DefaultBatchSize = 63 // MoonGen's default bufArray size
+
+// Mbuf is a packet buffer. Data is the full data room; the live packet
+// occupies Data[:Len]. The zero Mbuf is not usable; buffers come from a
+// Pool.
+type Mbuf struct {
+	Data []byte // full data room, fixed size
+	Len  int    // current packet length
+
+	// TxMeta carries per-packet transmit metadata interpreted by the
+	// NIC model, the equivalent of DPDK's mbuf offload flags and the
+	// DMA descriptor bitfields that checksum offloading sets.
+	TxMeta TxMeta
+
+	// RxMeta carries per-packet receive metadata written by the NIC
+	// model (timestamps on chips that timestamp all received packets,
+	// such as the 82580).
+	RxMeta RxMeta
+
+	pool  *Pool
+	index int  // position in the pool's backing store
+	inUse bool // owned by the application or NIC (not in the free list)
+}
+
+// TxMeta is per-packet transmit metadata: offload requests and flags
+// that the simulated NIC interprets when the packet reaches the
+// hardware, mirroring DPDK DMA-descriptor fields.
+type TxMeta struct {
+	// Offload checksum computation requests. The NIC fills the
+	// corresponding header checksums when the packet is fetched.
+	OffloadIPChecksum  bool
+	OffloadUDPChecksum bool
+	OffloadTCPChecksum bool
+
+	// L2Len/L3Len locate the headers for offloading, as in DPDK.
+	L2Len int
+	L3Len int
+
+	// InvalidCRC asks the MAC to emit the frame with a corrupted FCS.
+	// This is the transmit side of the paper's §8 CRC-based rate
+	// control: filler frames are sent with a bad checksum so the
+	// device under test drops them in hardware.
+	InvalidCRC bool
+
+	// Timestamp asks the NIC to hardware-timestamp this frame on
+	// transmit (PTP path, paper §6).
+	Timestamp bool
+}
+
+// RxMeta is per-packet receive metadata: what the NIC writes alongside
+// the packet data (the 82580 prepends hardware timestamps to all
+// received packets; we carry them out of band).
+type RxMeta struct {
+	// Timestamp is the hardware receive timestamp in NIC clock time.
+	Timestamp int64
+	// HasTimestamp reports whether Timestamp is valid.
+	HasTimestamp bool
+	// Queue is the receive queue the packet was steered to.
+	Queue int
+}
+
+// Reset clears per-packet state before reuse. Buffer contents are
+// intentionally preserved (recycling "does not erase the packets'
+// contents", §4.2).
+func (m *Mbuf) Reset(length int) {
+	if length > len(m.Data) {
+		panic(fmt.Sprintf("mempool: packet length %d exceeds data room %d", length, len(m.Data)))
+	}
+	m.Len = length
+	m.TxMeta = TxMeta{}
+	m.RxMeta = RxMeta{}
+}
+
+// Payload returns the live packet bytes Data[:Len].
+func (m *Mbuf) Payload() []byte { return m.Data[:m.Len] }
+
+// Pool returns the owning pool.
+func (m *Mbuf) Pool() *Pool { return m.pool }
+
+// Free returns the buffer to its pool. Freeing a buffer twice panics:
+// double-free is a real bug class the pool guards against.
+func (m *Mbuf) Free() {
+	m.pool.put(m)
+}
+
+// Pool is a fixed-size packet buffer pool. A Pool is safe for concurrent
+// use; the free list is protected by a mutex, which is not the hot path
+// in the simulation (batched alloc/free amortizes it exactly as DPDK's
+// per-core mempool caches do).
+type Pool struct {
+	mu      sync.Mutex
+	bufs    []*Mbuf
+	free    []int // indices of free buffers, LIFO for cache locality
+	bufSize int
+
+	allocs uint64
+	frees  uint64
+}
+
+// Config configures a pool.
+type Config struct {
+	// Count is the number of buffers; DPDK defaults to 2047-ish pools,
+	// we default to 2048.
+	Count int
+	// BufSize is the data room per buffer (default DefaultBufSize).
+	BufSize int
+	// Prefill, if non-nil, is invoked once per buffer at pool creation
+	// time. It is MoonGen's memory.createMemPool(function(buf) ...)
+	// callback: scripts fill every packet with default values once so
+	// the transmit loop only touches fields that change per packet.
+	Prefill func(buf *Mbuf)
+}
+
+// New creates a pool. All buffers are allocated up front from one
+// backing slab, and Prefill runs on each.
+func New(cfg Config) *Pool {
+	if cfg.Count <= 0 {
+		cfg.Count = 2048
+	}
+	if cfg.BufSize <= 0 {
+		cfg.BufSize = DefaultBufSize
+	}
+	p := &Pool{bufSize: cfg.BufSize}
+	slab := make([]byte, cfg.Count*cfg.BufSize)
+	p.bufs = make([]*Mbuf, cfg.Count)
+	p.free = make([]int, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		m := &Mbuf{
+			Data:  slab[i*cfg.BufSize : (i+1)*cfg.BufSize : (i+1)*cfg.BufSize],
+			Len:   cfg.BufSize,
+			pool:  p,
+			index: i,
+		}
+		if cfg.Prefill != nil {
+			cfg.Prefill(m)
+		}
+		m.Len = 0
+		p.bufs[i] = m
+		p.free[i] = cfg.Count - 1 - i // so buffer 0 pops first
+	}
+	return p
+}
+
+// BufSize returns the per-buffer data room.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Count returns the total number of buffers in the pool.
+func (p *Pool) Count() int { return len(p.bufs) }
+
+// Available returns the number of free buffers.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Stats returns cumulative allocation and free counts.
+func (p *Pool) Stats() (allocs, frees uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.frees
+}
+
+// Alloc takes one buffer with the given packet length, or nil if the
+// pool is exhausted.
+func (p *Pool) Alloc(length int) *Mbuf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocLocked(length)
+}
+
+func (p *Pool) allocLocked(length int) *Mbuf {
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	idx := p.free[n-1]
+	p.free = p.free[:n-1]
+	m := p.bufs[idx]
+	m.inUse = true
+	m.Reset(length)
+	p.allocs++
+	return m
+}
+
+// AllocBatch fills out with freshly allocated buffers of the given
+// length and returns how many it could allocate.
+func (p *Pool) AllocBatch(out []*Mbuf, length int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range out {
+		m := p.allocLocked(length)
+		if m == nil {
+			return i
+		}
+		out[i] = m
+	}
+	return len(out)
+}
+
+func (p *Pool) put(m *Mbuf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.pool != p {
+		panic("mempool: buffer returned to wrong pool")
+	}
+	if !m.inUse {
+		panic(fmt.Sprintf("mempool: double free of buffer %d", m.index))
+	}
+	m.inUse = false
+	p.free = append(p.free, m.index)
+	p.frees++
+}
+
+// BufArray is MoonGen's bufArray: a reusable batch of packet buffers
+// processed together, "a thin wrapper around a C array containing packet
+// buffers ... to process packets in batches instead of passing them
+// one-by-one" (§4.2).
+type BufArray struct {
+	Bufs []*Mbuf
+	pool *Pool
+}
+
+// BufArray returns a batch wrapper of the given size bound to this pool
+// (mem:bufArray()). Size <= 0 selects DefaultBatchSize.
+func (p *Pool) BufArray(size int) *BufArray {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BufArray{Bufs: make([]*Mbuf, size), pool: p}
+}
+
+// UnboundBufArray returns a batch wrapper usable only for receive
+// (memory.bufArray() in a counter task): buffers arrive from the NIC and
+// are freed to their own pools.
+func UnboundBufArray(size int) *BufArray {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BufArray{Bufs: make([]*Mbuf, size)}
+}
+
+// Len returns the batch capacity.
+func (a *BufArray) Len() int { return len(a.Bufs) }
+
+// Alloc fills the whole array with packets of the given size
+// (bufs:alloc(PKT_SIZE)). It returns the number allocated, which is
+// less than Len only if the pool ran dry — in a correctly sized setup
+// that means the NIC is holding every buffer and the caller should
+// retry, which is exactly how DPDK applications behave.
+func (a *BufArray) Alloc(size int) int {
+	if a.pool == nil {
+		panic("mempool: Alloc on unbound BufArray")
+	}
+	return a.pool.AllocBatch(a.Bufs, size)
+}
+
+// FreeAll returns every non-nil buffer to its pool and clears the slots
+// (bufs:freeAll()).
+func (a *BufArray) FreeAll() {
+	for i, m := range a.Bufs {
+		if m != nil {
+			m.Free()
+			a.Bufs[i] = nil
+		}
+	}
+}
+
+// Slice returns the first n buffers, the shape used after a short
+// receive: rx := queue.Recv(bufs); for _, b := range bufs.Slice(rx) {...}
+func (a *BufArray) Slice(n int) []*Mbuf { return a.Bufs[:n] }

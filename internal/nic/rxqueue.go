@@ -1,0 +1,45 @@
+package nic
+
+import (
+	"repro/internal/mempool"
+	"repro/internal/ring"
+)
+
+// RxQueue is one hardware receive queue. The port's receive path
+// steers validated frames into it (RSS hash); the application drains
+// it in bursts, DPDK style.
+type RxQueue struct {
+	port *Port
+	id   int
+	ring *ring.SPSC[*mempool.Mbuf]
+
+	received uint64
+}
+
+func newRxQueue(p *Port, id, ringSize int) *RxQueue {
+	return &RxQueue{port: p, id: id, ring: ring.NewSPSC[*mempool.Mbuf](ringSize)}
+}
+
+// ID returns the queue index.
+func (q *RxQueue) ID() int { return q.id }
+
+// Port returns the owning port.
+func (q *RxQueue) Port() *Port { return q.port }
+
+// Received returns the number of packets steered into this queue.
+func (q *RxQueue) Received() uint64 { return q.received }
+
+// Pending returns the number of packets waiting in the ring.
+func (q *RxQueue) Pending() int { return q.ring.Len() }
+
+// Recv fills out with received buffers and returns the count (possibly
+// zero — the non-blocking burst receive MoonGen's counterSlave loops
+// on). The caller owns the returned buffers and must Free them.
+func (q *RxQueue) Recv(out []*mempool.Mbuf) int {
+	return q.ring.Dequeue(out)
+}
+
+// RecvOne receives a single buffer if available.
+func (q *RxQueue) RecvOne() (*mempool.Mbuf, bool) {
+	return q.ring.DequeueOne()
+}

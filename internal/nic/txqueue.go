@@ -1,0 +1,350 @@
+package nic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mempool"
+	"repro/internal/proto"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TxQueue is one hardware transmit queue: a descriptor ring the
+// application fills asynchronously, drained by the port's MAC
+// scheduler. Queues are independent — "essentially a virtual interface"
+// (§3.3) — which is what makes multi-core scaling linear.
+type TxQueue struct {
+	port *Port
+	id   int
+	ring *ring.SPSC[*mempool.Mbuf]
+
+	// Hardware rate control (per-queue CBR shaping, §7.2). interval
+	// is the target inter-departure time; 0 means line rate.
+	interval  sim.Duration
+	idealNext sim.Time
+	// pendingAt caches the departure time (grid + oscillation) drawn
+	// for the current head-of-ring frame so the scheduler stays
+	// idempotent across evaluations.
+	pendingAt    sim.Time
+	pendingValid bool
+	anomalous    bool // configured beyond the chip's reliable range
+
+	sent      uint64
+	sentBytes uint64
+}
+
+func newTxQueue(p *Port, id, ringSize int) *TxQueue {
+	return &TxQueue{port: p, id: id, ring: ring.NewSPSC[*mempool.Mbuf](ringSize)}
+}
+
+// ID returns the queue index.
+func (q *TxQueue) ID() int { return q.id }
+
+// Port returns the owning port.
+func (q *TxQueue) Port() *Port { return q.port }
+
+// MAC returns the port's MAC address, so scripts can write
+// `ethSrc: queue` like MoonGen's fill does.
+func (q *TxQueue) MAC() proto.MAC { return q.port.mac }
+
+// Sent returns packets and bytes transmitted from this queue.
+func (q *TxQueue) Sent() (packets, bytes uint64) { return q.sent, q.sentBytes }
+
+// SetRatePPS configures the hardware rate limiter to a constant packet
+// rate. Zero disables shaping (line rate). Above the chip's reliable
+// range (~9 Mpps on X520/X540, §7.5) the shaper enters its documented
+// "unpredictable non-linear" regime; use two queues as a work-around.
+func (q *TxQueue) SetRatePPS(pps float64) {
+	if !q.port.profile.HWRateControl && pps > 0 {
+		panic(fmt.Sprintf("nic: %s has no hardware rate control", q.port.profile.Name))
+	}
+	if pps <= 0 {
+		q.interval = 0
+		q.anomalous = false
+		return
+	}
+	q.interval = sim.FromSeconds(1 / pps)
+	q.anomalous = q.port.profile.RateAnomalyPPS > 0 && pps > q.port.profile.RateAnomalyPPS
+	q.idealNext = q.port.eng.Now()
+	q.pendingValid = false
+}
+
+// SetRateMbps configures the shaper to a constant bit rate, counting
+// layer-2 frame bytes including the FCS, for the given frame size.
+func (q *TxQueue) SetRateMbps(mbps float64, frameSizeWithFCS int) {
+	if mbps <= 0 {
+		q.SetRatePPS(0)
+		return
+	}
+	pps := mbps * 1e6 / (float64(frameSizeWithFCS) * 8)
+	q.SetRatePPS(pps)
+}
+
+// RateInterval returns the configured CBR interval (0 = unshaped).
+func (q *TxQueue) RateInterval() sim.Duration { return q.interval }
+
+// Free returns the free descriptor slots.
+func (q *TxQueue) Free() int { return q.ring.Free() }
+
+// Send enqueues the batch onto the descriptor ring and returns how many
+// were accepted — DPDK burst semantics: a full ring yields a short
+// count and the caller retries, busy-wait style. Accepted buffers are
+// owned by the NIC until transmit completion ("a buffer must not be
+// modified after passing it to DPDK", §4.2); they are freed back to
+// their pool automatically, mirroring DPDK's recycling.
+func (q *TxQueue) Send(bufs []*mempool.Mbuf) int {
+	n := q.ring.Enqueue(bufs)
+	if n > 0 {
+		q.port.kickPump()
+	}
+	return n
+}
+
+// SendOne enqueues a single buffer.
+func (q *TxQueue) SendOne(m *mempool.Mbuf) bool {
+	ok := q.ring.EnqueueOne(m)
+	if ok {
+		q.port.kickPump()
+	}
+	return ok
+}
+
+// drawHWOscillation models the shaper's measured imprecision: traffic
+// "oscillates around the targeted inter-arrival time by up to 256 ns"
+// with rare larger excursions (§7.3, Table 4). The mixture is
+// calibrated so the measured inter-arrival buckets land near Table 4's
+// MoonGen rows.
+func drawHWOscillation(rng *rand.Rand) sim.Duration {
+	u := rng.Float64()
+	var ns float64
+	switch {
+	case u < 0.50:
+		ns = rng.Float64()*64 - 32
+	case u < 0.83:
+		ns = 32 + rng.Float64()*64 // 32..96
+		if rng.Intn(2) == 0 {
+			ns = -ns
+		}
+	case u < 0.999:
+		ns = 96 + rng.Float64()*96 // 96..192
+		if rng.Intn(2) == 0 {
+			ns = -ns
+		}
+	default:
+		ns = 192 + rng.Float64()*160
+		if rng.Intn(2) == 0 {
+			ns = -ns
+		}
+	}
+	return sim.FromNanoseconds(ns)
+}
+
+// eligibleAt returns when the head frame of this queue may start
+// transmitting according to the queue's shaper.
+func (q *TxQueue) eligibleAt() sim.Time {
+	if q.interval == 0 {
+		return q.port.eng.Now()
+	}
+	if !q.pendingValid {
+		now := q.port.eng.Now()
+		if q.idealNext < now {
+			// The queue was empty or newly rated: restart the grid.
+			q.idealNext = now
+		}
+		at := q.idealNext.Add(drawHWOscillation(q.port.eng.Rand()))
+		if q.anomalous {
+			// §7.5 anomaly: the shaper stretches intervals by an
+			// unpredictable factor, so the achieved rate falls
+			// nonlinearly short of the target.
+			stretch := 1.0 + q.port.eng.Rand().Float64()*0.8
+			at = q.idealNext.Add(sim.Duration(float64(q.interval) * (stretch - 1.0)))
+		}
+		if at < now {
+			at = now
+		}
+		q.pendingAt = at
+		q.pendingValid = true
+	}
+	return q.pendingAt
+}
+
+// advance moves the shaper grid after a transmission.
+func (q *TxQueue) advance() {
+	q.pendingValid = false
+	if q.interval > 0 {
+		q.idealNext = q.idealNext.Add(q.interval)
+	}
+}
+
+// kickPump schedules a MAC scheduler evaluation at the current instant.
+// A pump already scheduled for a *future* instant (a shaped queue's next
+// departure) must not suppress this: a newly enqueued frame on another
+// queue may be eligible right now.
+func (p *Port) kickPump() { p.schedulePump(p.eng.Now()) }
+
+// schedulePump arranges exactly one pending evaluation at the earliest
+// requested instant. An existing earlier-or-equal event already covers
+// this request (pump re-derives all state and re-chains); a later one
+// is superseded via the generation counter, so stale events are no-ops
+// and the event population stays O(1) per port.
+func (p *Port) schedulePump(at sim.Time) {
+	if p.pumpScheduled && p.pumpAt <= at {
+		return
+	}
+	p.pumpGen++
+	gen := p.pumpGen
+	p.pumpScheduled = true
+	p.pumpAt = at
+	p.eng.Schedule(at, func() {
+		if gen != p.pumpGen {
+			return // superseded by an earlier evaluation
+		}
+		p.pump()
+	})
+}
+
+// pump is the port's MAC transmit scheduler: it picks the next eligible
+// frame across all queues (round-robin at equal times via queue index),
+// honors per-queue rate limiters, the wire's serialization spacing, the
+// runt-frame rate ceiling and the XL710's per-port packet ceiling, then
+// emits the frame onto the link.
+func (p *Port) pump() {
+	p.pumpScheduled = false
+	if p.link == nil {
+		return // unconnected port: frames pile up in the rings
+	}
+	now := p.eng.Now()
+
+	// Scan queues starting after the last served one: equal-eligibility
+	// queues share the wire round-robin, as the hardware arbiter does.
+	var best *TxQueue
+	var bestAt sim.Time
+	n := len(p.txQueues)
+	for i := 0; i < n; i++ {
+		q := p.txQueues[(p.rrNext+i)%n]
+		if _, ok := q.ring.Peek(); !ok {
+			continue
+		}
+		at := q.eligibleAt()
+		if best == nil || at < bestAt {
+			best = q
+			bestAt = at
+		}
+	}
+	if best == nil {
+		return // idle; the next Send kicks us again
+	}
+
+	start := bestAt
+	if w := p.link.NextTxSlot(); w > start {
+		start = w
+	}
+	if start < now {
+		start = now
+	}
+
+	m, _ := best.ring.Peek()
+
+	// Per-port packet-rate ceilings: sub-minimum frames cap at
+	// RuntMaxPPS (§8.1); the XL710 caps all frames at PortMaxPPS
+	// (§5.4).
+	if p.hasTxStart {
+		var minGap sim.Duration
+		wireSize := m.Len + proto.FCSLen
+		if wireSize < proto.MinFrameSizeFCS && p.profile.RuntMaxPPS > 0 {
+			minGap = sim.FromSeconds(1 / p.profile.RuntMaxPPS)
+		}
+		if p.profile.PortMaxPPS > 0 {
+			if g := sim.FromSeconds(1 / p.profile.PortMaxPPS); g > minGap {
+				minGap = g
+			}
+		}
+		if minGap > 0 && start.Sub(p.lastTxStart) < minGap {
+			start = p.lastTxStart.Add(minGap)
+		}
+	}
+
+	if start > now {
+		p.schedulePump(start)
+		return
+	}
+
+	// Commit: dequeue and transmit.
+	m, _ = best.ring.DequeueOne()
+	best.advance()
+	p.rrNext = (best.id + 1) % len(p.txQueues)
+	p.transmitFrame(best, m)
+	// Evaluate the next frame once the wire frees up.
+	p.schedulePump(p.link.NextTxSlot())
+}
+
+// transmitFrame performs the DMA fetch (checksum offloads), MAC-level
+// timestamp latch and wire emission for one buffer, then arranges the
+// buffer's recycling at transmit completion.
+func (p *Port) transmitFrame(q *TxQueue, m *mempool.Mbuf) {
+	data := m.Payload()
+
+	// Checksum offload engine: executed when the hardware fetches the
+	// descriptor. L2Len/L3Len default to plain Ethernet/IPv4 offsets.
+	meta := &m.TxMeta
+	l2 := meta.L2Len
+	if l2 == 0 {
+		l2 = proto.EthHdrLen
+	}
+	if meta.OffloadIPChecksum && len(data) >= l2+proto.IPv4HdrLen {
+		proto.IPv4Hdr(data[l2:]).CalcChecksum()
+	}
+	if (meta.OffloadUDPChecksum || meta.OffloadTCPChecksum) && len(data) >= l2+proto.IPv4HdrLen {
+		ip := proto.IPv4Hdr(data[l2:])
+		l3 := meta.L3Len
+		if l3 == 0 {
+			l3 = ip.HdrLen()
+		}
+		segEnd := l2 + int(ip.TotalLength())
+		if segEnd > len(data) {
+			segEnd = len(data)
+		}
+		seg := data[l2+l3 : segEnd]
+		if meta.OffloadUDPChecksum && len(seg) >= proto.UDPHdrLen {
+			udp := proto.UDPHdr(seg)
+			udp.SetChecksum(0)
+			udp.SetChecksum(proto.TransportChecksumIPv4(ip.Src(), ip.Dst(), proto.IPProtoUDP, seg))
+		}
+		if meta.OffloadTCPChecksum && len(seg) >= proto.TCPHdrLen {
+			tcp := proto.TCPHdr(seg)
+			tcp.SetChecksum(0)
+			tcp.SetChecksum(proto.TransportChecksumIPv4(ip.Src(), ip.Dst(), proto.IPProtoTCP, seg))
+		}
+	}
+
+	now := p.eng.Now()
+
+	// TX hardware timestamping, "late in the transmit path" (§6.1).
+	if meta.Timestamp && !p.txTSValid {
+		if seq, ok := p.classifyPTP(data); ok {
+			p.txTSValid = true
+			p.txTS = p.Clock.TimestampAt(now)
+			p.txTSSeq = seq
+		}
+	}
+
+	f := &wire.Frame{
+		Data:     append([]byte(nil), data...),
+		WireSize: m.Len + proto.FCSLen,
+		CRCOK:    !meta.InvalidCRC,
+	}
+	busyUntil := p.link.Transmit(f)
+	p.lastTxStart = now
+	p.hasTxStart = true
+
+	p.stats.TxPackets++
+	p.stats.TxBytes += uint64(m.Len)
+	q.sent++
+	q.sentBytes += uint64(m.Len)
+
+	// The NIC owns the buffer until the frame has left the FIFO; then
+	// DPDK-style recycling returns it to its pool.
+	p.eng.Schedule(busyUntil, m.Free)
+}

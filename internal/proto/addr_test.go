@@ -1,0 +1,121 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("10:11:12:13:14:15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0x10, 0x11, 0x12, 0x13, 0x14, 0x15}) {
+		t.Fatalf("m = %v", m)
+	}
+	if m.String() != "10:11:12:13:14:15" {
+		t.Fatalf("String = %q", m.String())
+	}
+	for _, bad := range []string{"", "10:11:12:13:14", "10:11:12:13:14:15:16", "zz:11:12:13:14:15", "100:11:12:13:14:15"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMACProperties(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Fatal("broadcast flags wrong")
+	}
+	m := MustMAC("02:00:00:00:00:01")
+	if m.IsBroadcast() || m.IsMulticast() {
+		t.Fatal("unicast misclassified")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		r := RandomMAC(rng)
+		if r.IsMulticast() {
+			t.Fatalf("RandomMAC returned multicast %v", r)
+		}
+		if r[0]&2 == 0 {
+			t.Fatalf("RandomMAC not locally administered: %v", r)
+		}
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	ip, err := ParseIPv4("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != 0x0A000001 {
+		t.Fatalf("ip = %#x", uint32(ip))
+	}
+	if ip.String() != "10.0.0.1" {
+		t.Fatalf("String = %q", ip.String())
+	}
+	// Address arithmetic as used in MoonGen scripts: baseIP + offset.
+	if (ip + 255).String() != "10.0.1.0" {
+		t.Fatalf("arithmetic: %v", (ip + 255).String())
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4(v)
+		back, err := ParseIPv4(ip.String())
+		if err != nil {
+			return false
+		}
+		b := ip.Bytes()
+		return back == ip && IPv4FromBytes(b[:]) == ip
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPv6(t *testing.T) {
+	cases := map[string]string{
+		"2001:db8::1":          "2001:db8:0:0:0:0:0:1",
+		"::1":                  "0:0:0:0:0:0:0:1",
+		"::":                   "0:0:0:0:0:0:0:0",
+		"fe80::":               "fe80:0:0:0:0:0:0:0",
+		"1:2:3:4:5:6:7:8":      "1:2:3:4:5:6:7:8",
+		"2001:db8:0:0:0:0:0:1": "2001:db8:0:0:0:0:0:1",
+	}
+	for in, want := range cases {
+		ip, err := ParseIPv6(in)
+		if err != nil {
+			t.Errorf("ParseIPv6(%q): %v", in, err)
+			continue
+		}
+		if ip.String() != want {
+			t.Errorf("ParseIPv6(%q) = %q, want %q", in, ip.String(), want)
+		}
+	}
+	for _, bad := range []string{"", ":::", "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7:8::", "g::1"} {
+		if _, err := ParseIPv6(bad); err == nil {
+			t.Errorf("ParseIPv6(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIPv6RoundTripProperty(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		ip := IPv6(raw)
+		back, err := ParseIPv6(ip.String())
+		return err == nil && back == ip
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package proto
+
+import "encoding/binary"
+
+// IPsec header lengths.
+const (
+	// ESPHdrLen is the ESP header (SPI + sequence number).
+	ESPHdrLen = 8
+	// ESPTrailerLen is the minimal ESP trailer (pad length + next
+	// header) excluding the ICV.
+	ESPTrailerLen = 2
+	// AHHdrLen is the fixed part of an AH header with a 12-byte ICV
+	// (the common HMAC-96 case).
+	AHHdrLen = 24
+)
+
+// ESPHdr is a zero-copy view of an IPsec ESP header. MoonGen generates
+// IPsec load traffic (the NIC models the 82599's ESP offload); the
+// simulator treats the payload as opaque, which matches a generator's
+// view of IPsec: correct framing, arbitrary ciphertext.
+type ESPHdr []byte
+
+// SPI returns the security parameters index.
+func (h ESPHdr) SPI() uint32 { return binary.BigEndian.Uint32(h[0:4]) }
+
+// SetSPI sets the security parameters index.
+func (h ESPHdr) SetSPI(v uint32) { binary.BigEndian.PutUint32(h[0:4], v) }
+
+// SeqNum returns the sequence number.
+func (h ESPHdr) SeqNum() uint32 { return binary.BigEndian.Uint32(h[4:8]) }
+
+// SetSeqNum sets the sequence number.
+func (h ESPHdr) SetSeqNum(v uint32) { binary.BigEndian.PutUint32(h[4:8], v) }
+
+// Payload returns the bytes after the ESP header.
+func (h ESPHdr) Payload() []byte { return h[ESPHdrLen:] }
+
+// ESPFill is the Fill configuration for an ESP header.
+type ESPFill struct {
+	SPI    uint32
+	SeqNum uint32
+}
+
+// Fill writes the ESP header.
+func (h ESPHdr) Fill(cfg ESPFill) {
+	h.SetSPI(cfg.SPI)
+	h.SetSeqNum(cfg.SeqNum)
+}
+
+// AHHdr is a zero-copy view of an IPsec Authentication Header.
+type AHHdr []byte
+
+// NextHeader returns the next-header protocol number.
+func (h AHHdr) NextHeader() uint8 { return h[0] }
+
+// SetNextHeader sets the next-header protocol number.
+func (h AHHdr) SetNextHeader(v uint8) { h[0] = v }
+
+// PayloadLen returns the AH length field (in 32-bit words minus 2).
+func (h AHHdr) PayloadLen() uint8 { return h[1] }
+
+// SPI returns the security parameters index.
+func (h AHHdr) SPI() uint32 { return binary.BigEndian.Uint32(h[4:8]) }
+
+// SetSPI sets the security parameters index.
+func (h AHHdr) SetSPI(v uint32) { binary.BigEndian.PutUint32(h[4:8], v) }
+
+// SeqNum returns the sequence number.
+func (h AHHdr) SeqNum() uint32 { return binary.BigEndian.Uint32(h[8:12]) }
+
+// SetSeqNum sets the sequence number.
+func (h AHHdr) SetSeqNum(v uint32) { binary.BigEndian.PutUint32(h[8:12], v) }
+
+// ICV returns the 12-byte integrity check value.
+func (h AHHdr) ICV() []byte { return h[12:24] }
+
+// AHFill is the Fill configuration for an AH header.
+type AHFill struct {
+	NextHeader uint8
+	SPI        uint32
+	SeqNum     uint32
+}
+
+// Fill writes the AH header with a zeroed ICV.
+func (h AHHdr) Fill(cfg AHFill) {
+	h.SetNextHeader(cfg.NextHeader)
+	h[1] = (AHHdrLen / 4) - 2
+	binary.BigEndian.PutUint16(h[2:4], 0)
+	h.SetSPI(cfg.SPI)
+	h.SetSeqNum(cfg.SeqNum)
+	for i := 12; i < 24; i++ {
+		h[i] = 0
+	}
+}

@@ -1,0 +1,101 @@
+package proto
+
+import "encoding/binary"
+
+// IPv6HdrLen is the fixed IPv6 header length.
+const IPv6HdrLen = 40
+
+// IPv6Hdr is a zero-copy view of an IPv6 header.
+type IPv6Hdr []byte
+
+// Version returns the IP version nibble.
+func (h IPv6Hdr) Version() uint8 { return h[0] >> 4 }
+
+// TrafficClass returns the traffic class byte.
+func (h IPv6Hdr) TrafficClass() uint8 {
+	return h[0]<<4 | h[1]>>4
+}
+
+// SetTrafficClass sets the traffic class byte.
+func (h IPv6Hdr) SetTrafficClass(tc uint8) {
+	h[0] = 0x60 | tc>>4
+	h[1] = h[1]&0x0f | tc<<4
+}
+
+// FlowLabel returns the 20-bit flow label.
+func (h IPv6Hdr) FlowLabel() uint32 {
+	return binary.BigEndian.Uint32(h[0:4]) & 0xfffff
+}
+
+// SetFlowLabel sets the 20-bit flow label.
+func (h IPv6Hdr) SetFlowLabel(fl uint32) {
+	v := binary.BigEndian.Uint32(h[0:4])
+	binary.BigEndian.PutUint32(h[0:4], v&^0xfffff|fl&0xfffff)
+}
+
+// PayloadLength returns the payload length (bytes after the header).
+func (h IPv6Hdr) PayloadLength() uint16 { return binary.BigEndian.Uint16(h[4:6]) }
+
+// SetPayloadLength sets the payload length.
+func (h IPv6Hdr) SetPayloadLength(v uint16) { binary.BigEndian.PutUint16(h[4:6], v) }
+
+// NextHeader returns the next-header protocol number.
+func (h IPv6Hdr) NextHeader() uint8 { return h[6] }
+
+// SetNextHeader sets the next-header protocol number.
+func (h IPv6Hdr) SetNextHeader(v uint8) { h[6] = v }
+
+// HopLimit returns the hop limit.
+func (h IPv6Hdr) HopLimit() uint8 { return h[7] }
+
+// SetHopLimit sets the hop limit.
+func (h IPv6Hdr) SetHopLimit(v uint8) { h[7] = v }
+
+// Src returns the source address.
+func (h IPv6Hdr) Src() IPv6 {
+	var ip IPv6
+	copy(ip[:], h[8:24])
+	return ip
+}
+
+// SetSrc sets the source address.
+func (h IPv6Hdr) SetSrc(ip IPv6) { copy(h[8:24], ip[:]) }
+
+// Dst returns the destination address.
+func (h IPv6Hdr) Dst() IPv6 {
+	var ip IPv6
+	copy(ip[:], h[24:40])
+	return ip
+}
+
+// SetDst sets the destination address.
+func (h IPv6Hdr) SetDst(ip IPv6) { copy(h[24:40], ip[:]) }
+
+// Payload returns the bytes after the fixed header.
+func (h IPv6Hdr) Payload() []byte { return h[IPv6HdrLen:] }
+
+// IPv6Fill is the Fill configuration for an IPv6 header.
+type IPv6Fill struct {
+	Src           IPv6
+	Dst           IPv6
+	NextHeader    uint8
+	HopLimit      uint8 // default 64
+	TrafficClass  uint8
+	FlowLabel     uint32
+	PayloadLength uint16
+}
+
+// Fill writes the whole header.
+func (h IPv6Hdr) Fill(cfg IPv6Fill) {
+	binary.BigEndian.PutUint32(h[0:4], 6<<28)
+	h.SetTrafficClass(cfg.TrafficClass)
+	h.SetFlowLabel(cfg.FlowLabel)
+	h.SetPayloadLength(cfg.PayloadLength)
+	h.SetNextHeader(cfg.NextHeader)
+	if cfg.HopLimit == 0 {
+		cfg.HopLimit = 64
+	}
+	h.SetHopLimit(cfg.HopLimit)
+	h.SetSrc(cfg.Src)
+	h.SetDst(cfg.Dst)
+}

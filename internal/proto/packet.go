@@ -1,0 +1,405 @@
+package proto
+
+import "fmt"
+
+// This file provides stacked packet views — the Go analogue of
+// MoonGen's buf:getUdpPacket(), buf:getTcpPacket(), etc. A view wraps
+// the raw frame bytes and exposes each header layer plus a Fill method
+// that writes the complete protocol stack with sensible defaults, so a
+// pool-prefill callback can write every constant field once.
+
+// UDPPacket is an Ethernet/IPv4/UDP view of a frame.
+type UDPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p UDPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// IP returns the IPv4 header view.
+func (p UDPPacket) IP() IPv4Hdr { return IPv4Hdr(p.B[EthHdrLen:]) }
+
+// UDP returns the UDP header view.
+func (p UDPPacket) UDP() UDPHdr { return UDPHdr(p.B[EthHdrLen+IPv4HdrLen:]) }
+
+// Payload returns the UDP payload bytes.
+func (p UDPPacket) Payload() []byte { return p.B[EthHdrLen+IPv4HdrLen+UDPHdrLen:] }
+
+// UDPPacketFill configures a full Ethernet/IPv4/UDP stack.
+type UDPPacketFill struct {
+	PktLength int // full frame length; required
+	EthSrc    MAC
+	EthDst    MAC
+	IPSrc     IPv4
+	IPDst     IPv4
+	TTL       uint8
+	TOS       uint8
+	UDPSrc    uint16
+	UDPDst    uint16
+}
+
+// Fill writes Ethernet, IPv4 and UDP headers for a frame of
+// cfg.PktLength bytes. Checksums are left zero for offloading or
+// CalcChecksums.
+func (p UDPPacket) Fill(cfg UDPPacketFill) {
+	if cfg.PktLength < EthHdrLen+IPv4HdrLen+UDPHdrLen {
+		panic(fmt.Sprintf("proto: UDP packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypeIPv4})
+	p.IP().Fill(IPv4Fill{
+		Src:      cfg.IPSrc,
+		Dst:      cfg.IPDst,
+		Protocol: IPProtoUDP,
+		TTL:      cfg.TTL,
+		TOS:      cfg.TOS,
+		Length:   uint16(cfg.PktLength - EthHdrLen),
+	})
+	p.UDP().Fill(UDPFill{
+		SrcPort: cfg.UDPSrc,
+		DstPort: cfg.UDPDst,
+		Length:  uint16(cfg.PktLength - EthHdrLen - IPv4HdrLen),
+	})
+}
+
+// CalcChecksums computes the IPv4 header checksum and the UDP checksum
+// in software — what a script does when it cannot or does not offload.
+func (p UDPPacket) CalcChecksums() {
+	ip := p.IP()
+	ip.CalcChecksum()
+	udp := p.UDP()
+	udp.SetChecksum(0)
+	seg := p.B[EthHdrLen+IPv4HdrLen : EthHdrLen+int(ip.TotalLength())]
+	udp.SetChecksum(TransportChecksumIPv4(ip.Src(), ip.Dst(), IPProtoUDP, seg))
+}
+
+// VerifyChecksums reports whether both the IPv4 header checksum and the
+// UDP checksum are valid.
+func (p UDPPacket) VerifyChecksums() bool {
+	ip := p.IP()
+	if !ip.VerifyChecksum() {
+		return false
+	}
+	seg := p.B[EthHdrLen+IPv4HdrLen : EthHdrLen+int(ip.TotalLength())]
+	if UDPHdr(seg).Checksum() == 0 {
+		return true // checksum not used
+	}
+	acc := PseudoHeaderChecksumIPv4(ip.Src(), ip.Dst(), IPProtoUDP, uint16(len(seg)))
+	return finishChecksum(sum16(seg, acc)) == 0
+}
+
+// TCPPacket is an Ethernet/IPv4/TCP view of a frame.
+type TCPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p TCPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// IP returns the IPv4 header view.
+func (p TCPPacket) IP() IPv4Hdr { return IPv4Hdr(p.B[EthHdrLen:]) }
+
+// TCP returns the TCP header view.
+func (p TCPPacket) TCP() TCPHdr { return TCPHdr(p.B[EthHdrLen+IPv4HdrLen:]) }
+
+// Payload returns the TCP payload bytes (20-byte header assumed).
+func (p TCPPacket) Payload() []byte { return p.B[EthHdrLen+IPv4HdrLen+TCPHdrLen:] }
+
+// TCPPacketFill configures a full Ethernet/IPv4/TCP stack.
+type TCPPacketFill struct {
+	PktLength int
+	EthSrc    MAC
+	EthDst    MAC
+	IPSrc     IPv4
+	IPDst     IPv4
+	TCPSrc    uint16
+	TCPDst    uint16
+	SeqNum    uint32
+	AckNum    uint32
+	Flags     uint8 // default SYN
+	Window    uint16
+}
+
+// Fill writes Ethernet, IPv4 and TCP headers.
+func (p TCPPacket) Fill(cfg TCPPacketFill) {
+	if cfg.PktLength < EthHdrLen+IPv4HdrLen+TCPHdrLen {
+		panic(fmt.Sprintf("proto: TCP packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypeIPv4})
+	p.IP().Fill(IPv4Fill{
+		Src:      cfg.IPSrc,
+		Dst:      cfg.IPDst,
+		Protocol: IPProtoTCP,
+		Length:   uint16(cfg.PktLength - EthHdrLen),
+	})
+	if cfg.Flags == 0 {
+		cfg.Flags = TCPFlagSYN
+	}
+	p.TCP().Fill(TCPFill{
+		SrcPort: cfg.TCPSrc, DstPort: cfg.TCPDst,
+		SeqNum: cfg.SeqNum, AckNum: cfg.AckNum,
+		Flags: cfg.Flags, Window: cfg.Window,
+	})
+}
+
+// CalcChecksums computes IPv4 and TCP checksums in software.
+func (p TCPPacket) CalcChecksums() {
+	ip := p.IP()
+	ip.CalcChecksum()
+	tcp := p.TCP()
+	tcp.SetChecksum(0)
+	seg := p.B[EthHdrLen+IPv4HdrLen : EthHdrLen+int(ip.TotalLength())]
+	tcp.SetChecksum(TransportChecksumIPv4(ip.Src(), ip.Dst(), IPProtoTCP, seg))
+}
+
+// VerifyChecksums reports whether both checksums are valid.
+func (p TCPPacket) VerifyChecksums() bool {
+	ip := p.IP()
+	if !ip.VerifyChecksum() {
+		return false
+	}
+	seg := p.B[EthHdrLen+IPv4HdrLen : EthHdrLen+int(ip.TotalLength())]
+	acc := PseudoHeaderChecksumIPv4(ip.Src(), ip.Dst(), IPProtoTCP, uint16(len(seg)))
+	return finishChecksum(sum16(seg, acc)) == 0
+}
+
+// UDP6Packet is an Ethernet/IPv6/UDP view of a frame.
+type UDP6Packet struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p UDP6Packet) Eth() EthHdr { return EthHdr(p.B) }
+
+// IP returns the IPv6 header view.
+func (p UDP6Packet) IP() IPv6Hdr { return IPv6Hdr(p.B[EthHdrLen:]) }
+
+// UDP returns the UDP header view.
+func (p UDP6Packet) UDP() UDPHdr { return UDPHdr(p.B[EthHdrLen+IPv6HdrLen:]) }
+
+// Payload returns the UDP payload bytes.
+func (p UDP6Packet) Payload() []byte { return p.B[EthHdrLen+IPv6HdrLen+UDPHdrLen:] }
+
+// UDP6PacketFill configures a full Ethernet/IPv6/UDP stack.
+type UDP6PacketFill struct {
+	PktLength int
+	EthSrc    MAC
+	EthDst    MAC
+	IPSrc     IPv6
+	IPDst     IPv6
+	UDPSrc    uint16
+	UDPDst    uint16
+}
+
+// Fill writes Ethernet, IPv6 and UDP headers.
+func (p UDP6Packet) Fill(cfg UDP6PacketFill) {
+	if cfg.PktLength < EthHdrLen+IPv6HdrLen+UDPHdrLen {
+		panic(fmt.Sprintf("proto: UDPv6 packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypeIPv6})
+	p.IP().Fill(IPv6Fill{
+		Src: cfg.IPSrc, Dst: cfg.IPDst,
+		NextHeader:    IPProtoUDP,
+		PayloadLength: uint16(cfg.PktLength - EthHdrLen - IPv6HdrLen),
+	})
+	p.UDP().Fill(UDPFill{
+		SrcPort: cfg.UDPSrc, DstPort: cfg.UDPDst,
+		Length: uint16(cfg.PktLength - EthHdrLen - IPv6HdrLen),
+	})
+}
+
+// CalcChecksums computes the UDP checksum (IPv6 has no header checksum;
+// the UDP checksum is mandatory under IPv6).
+func (p UDP6Packet) CalcChecksums() {
+	ip := p.IP()
+	udp := p.UDP()
+	udp.SetChecksum(0)
+	seg := p.B[EthHdrLen+IPv6HdrLen : EthHdrLen+IPv6HdrLen+int(ip.PayloadLength())]
+	udp.SetChecksum(TransportChecksumIPv6(ip.Src(), ip.Dst(), IPProtoUDP, seg))
+}
+
+// VerifyChecksums reports whether the UDP checksum is valid.
+func (p UDP6Packet) VerifyChecksums() bool {
+	ip := p.IP()
+	seg := p.B[EthHdrLen+IPv6HdrLen : EthHdrLen+IPv6HdrLen+int(ip.PayloadLength())]
+	acc := PseudoHeaderChecksumIPv6(ip.Src(), ip.Dst(), IPProtoUDP, uint32(len(seg)))
+	return finishChecksum(sum16(seg, acc)) == 0
+}
+
+// ICMPPacket is an Ethernet/IPv4/ICMP view of a frame.
+type ICMPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p ICMPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// IP returns the IPv4 header view.
+func (p ICMPPacket) IP() IPv4Hdr { return IPv4Hdr(p.B[EthHdrLen:]) }
+
+// ICMP returns the ICMP header view.
+func (p ICMPPacket) ICMP() ICMPHdr { return ICMPHdr(p.B[EthHdrLen+IPv4HdrLen:]) }
+
+// ICMPPacketFill configures a full Ethernet/IPv4/ICMP echo stack.
+type ICMPPacketFill struct {
+	PktLength int
+	EthSrc    MAC
+	EthDst    MAC
+	IPSrc     IPv4
+	IPDst     IPv4
+	Type      uint8 // default echo request
+	ID        uint16
+	Seq       uint16
+}
+
+// Fill writes the Ethernet, IPv4 and ICMP headers and computes the ICMP
+// checksum (there is no hardware offload for ICMP).
+func (p ICMPPacket) Fill(cfg ICMPPacketFill) {
+	if cfg.PktLength < EthHdrLen+IPv4HdrLen+ICMPHdrLen {
+		panic(fmt.Sprintf("proto: ICMP packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypeIPv4})
+	p.IP().Fill(IPv4Fill{
+		Src: cfg.IPSrc, Dst: cfg.IPDst,
+		Protocol: IPProtoICMP,
+		Length:   uint16(cfg.PktLength - EthHdrLen),
+	})
+	if cfg.Type == 0 {
+		cfg.Type = ICMPTypeEcho
+	}
+	p.ICMP().Fill(ICMPFill{Type: cfg.Type, ID: cfg.ID, Seq: cfg.Seq})
+	p.ICMP().CalcChecksumV4(cfg.PktLength - EthHdrLen - IPv4HdrLen)
+}
+
+// PTPPacket is a layer-2 PTP packet view (EtherType 0x88F7), the format
+// MoonGen's timestamping tasks use because it has no minimum-size
+// restriction (§6.4).
+type PTPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p PTPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// PTP returns the PTP header view.
+func (p PTPPacket) PTP() PTPHdr { return PTPHdr(p.B[EthHdrLen:]) }
+
+// PTPPacketFill configures a layer-2 PTP packet.
+type PTPPacketFill struct {
+	PktLength   int
+	EthSrc      MAC
+	EthDst      MAC
+	MessageType uint8
+	SequenceID  uint16
+}
+
+// Fill writes the Ethernet and PTP headers.
+func (p PTPPacket) Fill(cfg PTPPacketFill) {
+	if cfg.PktLength < EthHdrLen+PTPHdrLen {
+		panic(fmt.Sprintf("proto: PTP packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypePTP})
+	p.PTP().Fill(PTPFill{
+		MessageType: cfg.MessageType,
+		SequenceID:  cfg.SequenceID,
+		Length:      uint16(cfg.PktLength - EthHdrLen),
+	})
+}
+
+// UDPPTPPacket is a UDP-encapsulated PTP packet view
+// (Ethernet/IPv4/UDP/PTP), the other format the NIC filters recognize.
+type UDPPTPPacket struct{ B []byte }
+
+// UDPView returns the enclosing UDP packet view.
+func (p UDPPTPPacket) UDPView() UDPPacket { return UDPPacket{B: p.B} }
+
+// PTP returns the PTP header view inside the UDP payload.
+func (p UDPPTPPacket) PTP() PTPHdr {
+	return PTPHdr(p.B[EthHdrLen+IPv4HdrLen+UDPHdrLen:])
+}
+
+// UDPPTPPacketFill configures a UDP PTP packet.
+type UDPPTPPacketFill struct {
+	PktLength   int
+	EthSrc      MAC
+	EthDst      MAC
+	IPSrc       IPv4
+	IPDst       IPv4
+	MessageType uint8
+	SequenceID  uint16
+	UDPDst      uint16 // default PTPUDPPort
+}
+
+// Fill writes the full stack.
+func (p UDPPTPPacket) Fill(cfg UDPPTPPacketFill) {
+	if cfg.UDPDst == 0 {
+		cfg.UDPDst = PTPUDPPort
+	}
+	p.UDPView().Fill(UDPPacketFill{
+		PktLength: cfg.PktLength,
+		EthSrc:    cfg.EthSrc, EthDst: cfg.EthDst,
+		IPSrc: cfg.IPSrc, IPDst: cfg.IPDst,
+		UDPSrc: PTPUDPPort, UDPDst: cfg.UDPDst,
+	})
+	p.PTP().Fill(PTPFill{
+		MessageType: cfg.MessageType,
+		SequenceID:  cfg.SequenceID,
+		Length:      uint16(cfg.PktLength - EthHdrLen - IPv4HdrLen - UDPHdrLen),
+	})
+}
+
+// ESPPacket is an Ethernet/IPv4/ESP view of a frame (IPsec load
+// generation).
+type ESPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p ESPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// IP returns the IPv4 header view.
+func (p ESPPacket) IP() IPv4Hdr { return IPv4Hdr(p.B[EthHdrLen:]) }
+
+// ESP returns the ESP header view.
+func (p ESPPacket) ESP() ESPHdr { return ESPHdr(p.B[EthHdrLen+IPv4HdrLen:]) }
+
+// ESPPacketFill configures an Ethernet/IPv4/ESP stack.
+type ESPPacketFill struct {
+	PktLength int
+	EthSrc    MAC
+	EthDst    MAC
+	IPSrc     IPv4
+	IPDst     IPv4
+	SPI       uint32
+	SeqNum    uint32
+}
+
+// Fill writes the full stack.
+func (p ESPPacket) Fill(cfg ESPPacketFill) {
+	if cfg.PktLength < EthHdrLen+IPv4HdrLen+ESPHdrLen {
+		panic(fmt.Sprintf("proto: ESP packet length %d too short", cfg.PktLength))
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: cfg.EthDst, EtherType: EtherTypeIPv4})
+	p.IP().Fill(IPv4Fill{
+		Src: cfg.IPSrc, Dst: cfg.IPDst,
+		Protocol: IPProtoESP,
+		Length:   uint16(cfg.PktLength - EthHdrLen),
+	})
+	p.ESP().Fill(ESPFill{SPI: cfg.SPI, SeqNum: cfg.SeqNum})
+}
+
+// ARPPacket is an Ethernet/ARP view of a frame.
+type ARPPacket struct{ B []byte }
+
+// Eth returns the Ethernet header view.
+func (p ARPPacket) Eth() EthHdr { return EthHdr(p.B) }
+
+// ARP returns the ARP body view.
+func (p ARPPacket) ARP() ARPHdr { return ARPHdr(p.B[EthHdrLen:]) }
+
+// ARPPacketFill configures an Ethernet/ARP frame.
+type ARPPacketFill struct {
+	EthSrc MAC
+	EthDst MAC // default broadcast for requests
+	ARPFill
+}
+
+// Fill writes the Ethernet header and ARP body.
+func (p ARPPacket) Fill(cfg ARPPacketFill) {
+	dst := cfg.EthDst
+	if dst == (MAC{}) {
+		dst = BroadcastMAC
+	}
+	p.Eth().Fill(EthFill{Src: cfg.EthSrc, Dst: dst, EtherType: EtherTypeARP})
+	if cfg.ARPFill.SenderMAC == (MAC{}) {
+		cfg.ARPFill.SenderMAC = cfg.EthSrc
+	}
+	p.ARP().Fill(cfg.ARPFill)
+}

@@ -1,0 +1,409 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testUDPFill() (UDPPacket, UDPPacketFill) {
+	b := make([]byte, 124)
+	cfg := UDPPacketFill{
+		PktLength: 124,
+		EthSrc:    MustMAC("02:00:00:00:00:01"),
+		EthDst:    MustMAC("10:11:12:13:14:15"),
+		IPSrc:     MustIPv4("10.0.0.1"),
+		IPDst:     MustIPv4("192.168.1.1"),
+		UDPSrc:    1234,
+		UDPDst:    42,
+	}
+	p := UDPPacket{B: b}
+	p.Fill(cfg)
+	return p, cfg
+}
+
+func TestUDPPacketFill(t *testing.T) {
+	p, cfg := testUDPFill()
+	if p.Eth().EtherType() != EtherTypeIPv4 {
+		t.Fatalf("ethertype = %#x", p.Eth().EtherType())
+	}
+	if p.Eth().Src() != cfg.EthSrc || p.Eth().Dst() != cfg.EthDst {
+		t.Fatal("MACs wrong")
+	}
+	ip := p.IP()
+	if ip.Version() != 4 || ip.HdrLen() != 20 {
+		t.Fatalf("version=%d ihl=%d", ip.Version(), ip.HdrLen())
+	}
+	if ip.TotalLength() != 110 {
+		t.Fatalf("total length = %d", ip.TotalLength())
+	}
+	if ip.TTL() != 64 || ip.Protocol() != IPProtoUDP {
+		t.Fatalf("ttl=%d proto=%d", ip.TTL(), ip.Protocol())
+	}
+	if ip.Src() != cfg.IPSrc || ip.Dst() != cfg.IPDst {
+		t.Fatal("IPs wrong")
+	}
+	udp := p.UDP()
+	if udp.SrcPort() != 1234 || udp.DstPort() != 42 {
+		t.Fatalf("ports %d->%d", udp.SrcPort(), udp.DstPort())
+	}
+	if udp.Length() != 90 {
+		t.Fatalf("udp length = %d", udp.Length())
+	}
+	if len(p.Payload()) != 124-42 {
+		t.Fatalf("payload len = %d", len(p.Payload()))
+	}
+}
+
+func TestUDPChecksums(t *testing.T) {
+	p, _ := testUDPFill()
+	p.CalcChecksums()
+	if !p.IP().VerifyChecksum() {
+		t.Fatal("IP checksum invalid")
+	}
+	if !p.VerifyChecksums() {
+		t.Fatal("UDP checksum invalid")
+	}
+	// Corrupt a payload byte: UDP checksum must now fail.
+	p.Payload()[0] ^= 0xff
+	if p.VerifyChecksums() {
+		t.Fatal("corrupted packet verified")
+	}
+}
+
+// Property: for random addresses/ports/sizes, filled+checksummed UDP
+// packets always verify, and the IP checksum survives the per-packet
+// source-IP modification + re-checksum pattern from the paper's
+// Listing 2.
+func TestUDPFillChecksumProperty(t *testing.T) {
+	f := func(srcIP, dstIP uint32, sp, dp uint16, sizeSeed uint16, payload []byte) bool {
+		size := 60 + int(sizeSeed%1400)
+		b := make([]byte, size)
+		p := UDPPacket{B: b}
+		p.Fill(UDPPacketFill{
+			PktLength: size,
+			IPSrc:     IPv4(srcIP), IPDst: IPv4(dstIP),
+			UDPSrc: sp, UDPDst: dp,
+		})
+		copy(p.Payload(), payload)
+		p.CalcChecksums()
+		return p.VerifyChecksums()
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4HeaderFieldRoundTrip(t *testing.T) {
+	h := IPv4Hdr(make([]byte, 20))
+	h.SetVersionIHL(20)
+	h.SetTOS(0x2e)
+	h.SetTotalLength(1500)
+	h.SetID(0xBEEF)
+	h.SetFlags(2)
+	h.SetFragOffset(1234)
+	h.SetTTL(33)
+	h.SetProtocol(IPProtoTCP)
+	h.SetSrc(MustIPv4("1.2.3.4"))
+	h.SetDst(MustIPv4("5.6.7.8"))
+	if h.TOS() != 0x2e || h.TotalLength() != 1500 || h.ID() != 0xBEEF {
+		t.Fatal("basic fields wrong")
+	}
+	if h.Flags() != 2 || h.FragOffset() != 1234 {
+		t.Fatalf("flags=%d off=%d", h.Flags(), h.FragOffset())
+	}
+	if h.TTL() != 33 || h.Protocol() != IPProtoTCP {
+		t.Fatal("ttl/proto wrong")
+	}
+	// Setting the offset must not clobber flags and vice versa.
+	h.SetFlags(5)
+	if h.FragOffset() != 1234 {
+		t.Fatal("SetFlags clobbered FragOffset")
+	}
+	h.SetFragOffset(77)
+	if h.Flags() != 5 {
+		t.Fatal("SetFragOffset clobbered Flags")
+	}
+}
+
+func TestTCPPacketFill(t *testing.T) {
+	b := make([]byte, 60)
+	p := TCPPacket{B: b}
+	p.Fill(TCPPacketFill{
+		PktLength: 60,
+		IPSrc:     MustIPv4("10.0.0.1"),
+		IPDst:     MustIPv4("10.0.0.2"),
+		TCPSrc:    4444, TCPDst: 80,
+		SeqNum: 1000, AckNum: 2000,
+		Flags: TCPFlagSYN | TCPFlagACK,
+	})
+	tcp := p.TCP()
+	if tcp.SrcPort() != 4444 || tcp.DstPort() != 80 {
+		t.Fatal("ports wrong")
+	}
+	if tcp.SeqNum() != 1000 || tcp.AckNum() != 2000 {
+		t.Fatal("seq/ack wrong")
+	}
+	if tcp.DataOffset() != 20 {
+		t.Fatalf("data offset = %d", tcp.DataOffset())
+	}
+	if tcp.Flags() != TCPFlagSYN|TCPFlagACK {
+		t.Fatalf("flags = %#x", tcp.Flags())
+	}
+	if tcp.Window() != 65535 {
+		t.Fatalf("window = %d", tcp.Window())
+	}
+	p.CalcChecksums()
+	if !p.VerifyChecksums() {
+		t.Fatal("TCP checksums invalid")
+	}
+	p.B[50] ^= 1
+	if p.VerifyChecksums() {
+		t.Fatal("corrupted TCP packet verified")
+	}
+}
+
+func TestUDP6PacketFill(t *testing.T) {
+	b := make([]byte, 80)
+	p := UDP6Packet{B: b}
+	p.Fill(UDP6PacketFill{
+		PktLength: 80,
+		IPSrc:     MustIPv6("2001:db8::1"),
+		IPDst:     MustIPv6("2001:db8::2"),
+		UDPSrc:    1000, UDPDst: 2000,
+	})
+	ip := p.IP()
+	if ip.Version() != 6 {
+		t.Fatalf("version = %d", ip.Version())
+	}
+	if ip.PayloadLength() != 80-EthHdrLen-IPv6HdrLen {
+		t.Fatalf("payload length = %d", ip.PayloadLength())
+	}
+	if ip.NextHeader() != IPProtoUDP || ip.HopLimit() != 64 {
+		t.Fatal("nexthdr/hoplimit wrong")
+	}
+	p.CalcChecksums()
+	if !p.VerifyChecksums() {
+		t.Fatal("UDPv6 checksum invalid")
+	}
+}
+
+func TestIPv6HeaderBitfields(t *testing.T) {
+	h := IPv6Hdr(make([]byte, IPv6HdrLen))
+	h.Fill(IPv6Fill{TrafficClass: 0xAB, FlowLabel: 0xBEEF5})
+	if h.Version() != 6 {
+		t.Fatalf("version = %d", h.Version())
+	}
+	if h.TrafficClass() != 0xAB {
+		t.Fatalf("tc = %#x", h.TrafficClass())
+	}
+	if h.FlowLabel() != 0xBEEF5 {
+		t.Fatalf("flow = %#x", h.FlowLabel())
+	}
+	// Mutating one field must not disturb the others.
+	h.SetFlowLabel(0x12345)
+	if h.TrafficClass() != 0xAB || h.Version() != 6 {
+		t.Fatal("SetFlowLabel clobbered neighbors")
+	}
+	h.SetTrafficClass(0xCD)
+	if h.FlowLabel() != 0x12345 || h.Version() != 6 {
+		t.Fatal("SetTrafficClass clobbered neighbors")
+	}
+}
+
+func TestICMPPacketFill(t *testing.T) {
+	b := make([]byte, 64)
+	p := ICMPPacket{B: b}
+	p.Fill(ICMPPacketFill{
+		PktLength: 64,
+		IPSrc:     MustIPv4("10.0.0.1"),
+		IPDst:     MustIPv4("10.0.0.2"),
+		ID:        7, Seq: 9,
+	})
+	ic := p.ICMP()
+	if ic.Type() != ICMPTypeEcho || ic.ID() != 7 || ic.Seq() != 9 {
+		t.Fatal("icmp fields wrong")
+	}
+	if !ic.VerifyChecksumV4(64 - EthHdrLen - IPv4HdrLen) {
+		t.Fatal("icmp checksum invalid")
+	}
+}
+
+func TestPTPPacketFill(t *testing.T) {
+	b := make([]byte, 60)
+	p := PTPPacket{B: b}
+	p.Fill(PTPPacketFill{
+		PktLength:   60,
+		MessageType: PTPMsgDelayReq,
+		SequenceID:  555,
+	})
+	if p.Eth().EtherType() != EtherTypePTP {
+		t.Fatalf("ethertype = %#x", p.Eth().EtherType())
+	}
+	h := p.PTP()
+	if h.MessageType() != PTPMsgDelayReq || h.Version() != PTPVersion2 {
+		t.Fatal("ptp header wrong")
+	}
+	if h.SequenceID() != 555 {
+		t.Fatalf("seq = %d", h.SequenceID())
+	}
+	if !IsTimestampedType(h.MessageType()) {
+		t.Fatal("delay_req must be a timestamped type")
+	}
+	if IsTimestampedType(PTPMsgNoTimestamp) {
+		t.Fatal("filler type must not be timestamped")
+	}
+}
+
+func TestUDPPTPPacketFill(t *testing.T) {
+	b := make([]byte, PTPMinUDPSize)
+	p := UDPPTPPacket{B: b}
+	p.Fill(UDPPTPPacketFill{
+		PktLength:   PTPMinUDPSize,
+		IPSrc:       MustIPv4("10.0.0.1"),
+		IPDst:       MustIPv4("10.0.0.2"),
+		MessageType: PTPMsgSync,
+		SequenceID:  77,
+	})
+	if p.UDPView().UDP().DstPort() != PTPUDPPort {
+		t.Fatalf("udp dst = %d", p.UDPView().UDP().DstPort())
+	}
+	if p.PTP().SequenceID() != 77 {
+		t.Fatal("seq wrong")
+	}
+	p.UDPView().CalcChecksums()
+	if !p.UDPView().VerifyChecksums() {
+		t.Fatal("checksum invalid")
+	}
+}
+
+func TestESPPacketFill(t *testing.T) {
+	b := make([]byte, 100)
+	p := ESPPacket{B: b}
+	p.Fill(ESPPacketFill{
+		PktLength: 100,
+		IPSrc:     MustIPv4("10.0.0.1"),
+		IPDst:     MustIPv4("10.0.0.2"),
+		SPI:       0xDEADBEEF, SeqNum: 42,
+	})
+	if p.IP().Protocol() != IPProtoESP {
+		t.Fatal("proto wrong")
+	}
+	if p.ESP().SPI() != 0xDEADBEEF || p.ESP().SeqNum() != 42 {
+		t.Fatal("esp fields wrong")
+	}
+}
+
+func TestAHHdr(t *testing.T) {
+	h := AHHdr(make([]byte, AHHdrLen))
+	h.Fill(AHFill{NextHeader: IPProtoUDP, SPI: 99, SeqNum: 3})
+	if h.NextHeader() != IPProtoUDP || h.SPI() != 99 || h.SeqNum() != 3 {
+		t.Fatal("ah fields wrong")
+	}
+	if h.PayloadLen() != 4 {
+		t.Fatalf("payload len = %d", h.PayloadLen())
+	}
+	if len(h.ICV()) != 12 {
+		t.Fatalf("icv len = %d", len(h.ICV()))
+	}
+}
+
+func TestARPPacketFill(t *testing.T) {
+	b := make([]byte, 60)
+	p := ARPPacket{B: b}
+	src := MustMAC("02:00:00:00:00:01")
+	p.Fill(ARPPacketFill{
+		EthSrc: src,
+		ARPFill: ARPFill{
+			SenderIP: MustIPv4("10.0.0.1"),
+			TargetIP: MustIPv4("10.0.0.2"),
+		},
+	})
+	if p.Eth().Dst() != BroadcastMAC {
+		t.Fatal("ARP request not broadcast")
+	}
+	a := p.ARP()
+	if a.Op() != ARPOpRequest {
+		t.Fatalf("op = %d", a.Op())
+	}
+	if a.SenderMAC() != src {
+		t.Fatal("sender MAC not defaulted from EthSrc")
+	}
+	if a.HType() != ARPHTypeEthernet || a.PType() != EtherTypeIPv4 {
+		t.Fatal("htype/ptype wrong")
+	}
+	if a.SenderIP().String() != "10.0.0.1" || a.TargetIP().String() != "10.0.0.2" {
+		t.Fatal("IPs wrong")
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	// 60-byte frame = 64 with FCS = 84 bytes of wire time. At 10 GbE
+	// (0.8 ns/B) that is 67.2 ns -> 14.88 Mpps.
+	if WireLen(60) != 84 {
+		t.Fatalf("WireLen(60) = %d", WireLen(60))
+	}
+	pps := 10e9 / 8 / float64(WireLen(60))
+	if pps < 14.87e6 || pps > 14.89e6 {
+		t.Fatalf("line rate = %f pps", pps)
+	}
+}
+
+func TestFillTooShortPanics(t *testing.T) {
+	fns := []func(){
+		func() { UDPPacket{B: make([]byte, 10)}.Fill(UDPPacketFill{PktLength: 10}) },
+		func() { TCPPacket{B: make([]byte, 10)}.Fill(TCPPacketFill{PktLength: 10}) },
+		func() { UDP6Packet{B: make([]byte, 10)}.Fill(UDP6PacketFill{PktLength: 10}) },
+		func() { ICMPPacket{B: make([]byte, 10)}.Fill(ICMPPacketFill{PktLength: 10}) },
+		func() { PTPPacket{B: make([]byte, 10)}.Fill(PTPPacketFill{PktLength: 10}) },
+		func() { ESPPacket{B: make([]byte, 10)}.Fill(ESPPacketFill{PktLength: 10}) },
+	}
+	for i, fn := range fns {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fill %d: too-short packet did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUDPFill(b *testing.B) {
+	buf := make([]byte, 124)
+	p := UDPPacket{B: buf}
+	cfg := UDPPacketFill{
+		PktLength: 124,
+		IPSrc:     MustIPv4("10.0.0.1"), IPDst: MustIPv4("192.168.1.1"),
+		UDPSrc: 1234, UDPDst: 319,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Fill(cfg)
+	}
+}
+
+// BenchmarkModifySrcIP measures the Listing 2 hot path: modifying one
+// field in a pre-filled packet.
+func BenchmarkModifySrcIP(b *testing.B) {
+	buf := make([]byte, 124)
+	p := UDPPacket{B: buf}
+	p.Fill(UDPPacketFill{PktLength: 124})
+	base := MustIPv4("10.0.0.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.IP().SetSrc(base + IPv4(i&0xff))
+	}
+}
+
+func BenchmarkUDPSoftwareChecksum(b *testing.B) {
+	buf := make([]byte, 124)
+	p := UDPPacket{B: buf}
+	p.Fill(UDPPacketFill{PktLength: 124})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.CalcChecksums()
+	}
+}

@@ -1,0 +1,184 @@
+package ptpclk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuantization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Config{TickNS: 6.4})
+	eng.Schedule(sim.Time(10*sim.Nanosecond), func() {
+		ts := c.Timestamp()
+		// 10 ns quantized to 6.4 ns granularity -> 6.4 ns.
+		if ts != sim.Time(sim.FromNanoseconds(6.4)) {
+			t.Errorf("timestamp = %v, want 6.4ns", ts)
+		}
+	})
+	eng.RunAll()
+}
+
+func TestQuantizationPhase(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// 82580 style: 64 ns ticks with a k*8 ns phase.
+	c := New(eng, Config{TickNS: 64, PhaseNS: 24})
+	eng.Schedule(sim.Time(200*sim.Nanosecond), func() {
+		ts := c.Timestamp()
+		// Values are of the form n*64ns + 24ns.
+		rem := (int64(ts) - int64(24*sim.Nanosecond)) % int64(64*sim.Nanosecond)
+		if rem != 0 {
+			t.Errorf("timestamp %v not of form n*64+24 ns", ts)
+		}
+	})
+	eng.RunAll()
+}
+
+func TestTimestampMonotone(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Config{TickNS: 6.4, DriftPPM: 35})
+	var last sim.Time = -1 << 62
+	for i := 0; i < 1000; i++ {
+		eng.Schedule(sim.Time(i)*sim.Time(sim.Nanosecond), func() {
+			ts := c.Timestamp()
+			if ts < last {
+				t.Errorf("clock went backwards: %v < %v", ts, last)
+			}
+			last = ts
+		})
+	}
+	eng.RunAll()
+}
+
+func TestDriftAccumulation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// 35 ppm = 35 µs per second, the paper's worst case (§6.3).
+	c := New(eng, Config{TickNS: 6.4, DriftPPM: 35})
+	eng.Schedule(sim.Time(sim.Second), func() {
+		off := c.Offset()
+		want := 35 * sim.Microsecond
+		if diff := off - want; diff < -sim.Microsecond || diff > sim.Microsecond {
+			t.Errorf("offset after 1s = %v, want ~35us", off)
+		}
+	})
+	eng.RunAll()
+}
+
+func TestAdjustAtomicWithDrift(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Config{TickNS: 6.4, DriftPPM: 100, InitialOffset: 50 * sim.Microsecond})
+	eng.Schedule(sim.Time(sim.Second), func() {
+		c.Adjust(-c.Offset())
+		if off := c.Offset(); off != 0 {
+			t.Errorf("offset after corrective adjust = %v", off)
+		}
+	})
+	// Drift resumes after the adjustment.
+	eng.Schedule(sim.Time(2*sim.Second), func() {
+		off := c.Offset()
+		want := 100 * sim.Microsecond
+		if diff := off - want; diff < -sim.Microsecond || diff > sim.Microsecond {
+			t.Errorf("offset 1s after adjust = %v, want ~100us", off)
+		}
+	})
+	eng.RunAll()
+}
+
+// TestSyncAccuracy reproduces §6.2: after Sync the two clocks agree
+// within ±1 tick even with 5% read outliers.
+func TestSyncAccuracy(t *testing.T) {
+	eng := sim.NewEngine(42)
+	tick := sim.FromNanoseconds(6.4)
+	for trial := 0; trial < 200; trial++ {
+		offset := sim.Duration(eng.Rand().Int63n(int64(sim.Millisecond)))
+		a := New(eng, Config{TickNS: 6.4, ReadOutlierProb: 0.05})
+		b := New(eng, Config{TickNS: 6.4, ReadOutlierProb: 0.05, InitialOffset: offset})
+		Sync(a, b)
+		// After sync, direct (latch, not read) timestamps agree to
+		// within 2 ticks (quantization of both clocks + residual).
+		d := int64(a.Timestamp() - b.Timestamp())
+		if d < 0 {
+			d = -d
+		}
+		if d > 2*int64(tick) {
+			t.Fatalf("trial %d: residual clock error %dps > 2 ticks", trial, d)
+		}
+	}
+}
+
+// TestSyncMaxError validates the 19.2 ns bound quoted in the paper for
+// multi-port tests on 10 GbE chips (±1 cycle ≈ 3 ticks worst case
+// across two quantized clocks).
+func TestSyncMaxError(t *testing.T) {
+	eng := sim.NewEngine(7)
+	worst := int64(0)
+	for trial := 0; trial < 500; trial++ {
+		a := New(eng, Config{TickNS: 6.4, ReadOutlierProb: 0.05})
+		b := New(eng, Config{TickNS: 6.4, ReadOutlierProb: 0.05,
+			InitialOffset: sim.Duration(eng.Rand().Int63n(int64(sim.Second)))})
+		Sync(a, b)
+		d := int64(a.Timestamp() - b.Timestamp())
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if limit := int64(sim.FromNanoseconds(19.2)); worst > limit {
+		t.Fatalf("worst-case sync error %dps exceeds 19.2ns", worst)
+	}
+}
+
+func TestMeasureDrift(t *testing.T) {
+	eng := sim.NewEngine(3)
+	a := New(eng, Config{TickNS: 6.4})
+	b := New(eng, Config{TickNS: 6.4, DriftPPM: 35})
+	var got float64
+	eng.Spawn("drift", func(p *sim.Proc) {
+		got = MeasureDrift(p, a, b, sim.Second)
+	})
+	eng.RunAll()
+	if math.Abs(got+35) > 0.5 { // b runs fast relative to a -> a-b shrinks
+		t.Fatalf("measured drift = %f ppm, want ~-35", got)
+	}
+}
+
+// TestResyncRelativeError reproduces §6.3: resynchronizing before each
+// timestamped packet turns a 35 µs/s drift into a relative error of
+// 0.0035% of the measured latency.
+func TestResyncRelativeError(t *testing.T) {
+	// In 1 ms of flight time, a 35 ppm drift accumulates 35 ns.
+	drift := 35e-6
+	flight := 1 * sim.Millisecond
+	errNS := drift * float64(flight)
+	rel := errNS / float64(flight)
+	if math.Abs(rel-0.000035) > 1e-9 {
+		t.Fatalf("relative error = %v, want 0.0035%%", rel)
+	}
+}
+
+func TestReadOutliers(t *testing.T) {
+	eng := sim.NewEngine(9)
+	c := New(eng, Config{TickNS: 6.4, ReadOutlierProb: 0.05})
+	outliers := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if c.Read() != c.Timestamp() {
+			outliers++
+		}
+	}
+	frac := float64(outliers) / n
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("outlier fraction = %f, want ~0.05", frac)
+	}
+}
+
+func TestDefaultTick(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Config{})
+	if c.Tick() != sim.FromNanoseconds(6.4) {
+		t.Fatalf("default tick = %v", c.Tick())
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled callback. Events with equal times fire in schedule
+// order (seq tiebreak) so simulations are fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. All simulated
+// activity — including cooperatively scheduled processes (see Proc) —
+// runs under the engine's Run loop; at any instant at most one piece of
+// simulation code executes, which makes every run reproducible for a
+// given seed.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	procs   int // live processes, for diagnostics
+
+	// stopAt, when non-zero, is the simulated time at which Running()
+	// starts returning false. It is the simulation's equivalent of
+	// MoonGen's dpdk.running() runtime limit.
+	stopAt Time
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed always produces the same event trace.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), stopAt: Never}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (event callbacks and processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at time at. Scheduling in the past panics: it would
+// silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter runs fn d after the current time.
+func (e *Engine) ScheduleAfter(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// SetStopTime arranges for Running() to become false at t. Processes that
+// loop on Running (the dpdk.running() idiom) terminate shortly after.
+func (e *Engine) SetStopTime(t Time) { e.stopAt = t }
+
+// SetRunFor is SetStopTime relative to the current simulated time.
+func (e *Engine) SetRunFor(d Duration) { e.stopAt = e.now.Add(d) }
+
+// Running reports whether the simulated run time is still in progress.
+// It mirrors MoonGen's dpdk.running() main-loop condition.
+func (e *Engine) Running() bool { return !e.stopped && e.now < e.stopAt }
+
+// Stop makes Running return false immediately. Pending events still fire
+// when Run continues, which lets processes observe the stop and finalize
+// their counters, exactly like MoonGen tasks draining after Ctrl-C.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the heap is empty or the next event is after
+// until. It returns the number of events fired.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for e.events.Len() > 0 {
+		if e.events[0].at > until {
+			break
+		}
+		e.Step()
+		n++
+	}
+	if e.now < until && until != Never {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll fires every event until the heap drains. Processes must
+// terminate (e.g. via SetStopTime) or RunAll never returns.
+func (e *Engine) RunAll() int { return e.Run(Never) }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Procs returns the number of live processes.
+func (e *Engine) Procs() int { return e.procs }

@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperatively scheduled simulation process.
+//
+// A process is a goroutine that runs in lockstep with the engine: the
+// engine wakes it, the process executes until it blocks in Sleep or
+// Yield (or returns), and only then does the engine resume the event
+// loop. At most one process (or event callback) executes at a time, so
+// the simulation stays deterministic even though processes are written
+// as ordinary sequential Go code with loops — the direct analogue of a
+// MoonGen slave task's transmit or receive loop.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	dead   bool
+}
+
+// Spawn starts fn as a new simulation process at the current simulated
+// time. fn runs on its own goroutine but is serialized with all other
+// simulation activity.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume // wait for the engine to hand us control
+		defer func() {
+			p.dead = true
+			p.eng.procs--
+			p.parked <- struct{}{} // hand control back one last time
+		}()
+		fn(p)
+	}()
+	// First wake-up happens as a normal event at the current time, so
+	// Spawn itself never runs user code.
+	e.Schedule(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch transfers control from the engine to the process and waits
+// for it to park or exit. Must be called from engine (event) context.
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the engine and blocks until the engine
+// dispatches this process again.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Running reports whether the simulation run time is still in progress;
+// the usual main-loop condition (see Engine.Running).
+func (p *Proc) Running() bool { return p.eng.Running() }
+
+// Sleep suspends the process for d of simulated time. Other events and
+// processes run in the meantime. Sleep(0) is a pure yield: it reinserts
+// the process at the back of the current instant's event queue.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
+	}
+	e := p.eng
+	e.Schedule(e.now.Add(d), func() { e.dispatch(p) })
+	p.park()
+}
+
+// SleepUntil suspends the process until the absolute simulated time t.
+// If t is in the past it degenerates to a yield.
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	e := p.eng
+	e.Schedule(t, func() { e.dispatch(p) })
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,393 @@
+// Package stats reimplements MoonGen's stats.lua: transmit/receive
+// counters that sample rates over regular intervals and report mean ±
+// standard deviation, with plain and CSV output formats, plus the
+// histogram type used for latency and inter-arrival distributions
+// (64 ns bins in the paper's Figure 8).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// OnlineStats accumulates mean and standard deviation incrementally
+// (Welford's algorithm).
+type OnlineStats struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (o *OnlineStats) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// Count returns the number of samples.
+func (o *OnlineStats) Count() uint64 { return o.n }
+
+// Mean returns the sample mean.
+func (o *OnlineStats) Mean() float64 { return o.mean }
+
+// Variance returns the population variance.
+func (o *OnlineStats) Variance() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Std returns the population standard deviation.
+func (o *OnlineStats) Std() float64 { return math.Sqrt(o.Variance()) }
+
+// Format selects a counter output format. MoonGen defaults to CSV "for
+// easy post-processing"; the example scripts use plain.
+type Format int
+
+// Formats.
+const (
+	FormatPlain Format = iota
+	FormatCSV
+	FormatNone // collect silently; read via accessors
+)
+
+// Counter tracks packet and byte counts and samples throughput over
+// fixed windows of simulated time. It is the common core of MoonGen's
+// manual TX counters and RX packet counters.
+type Counter struct {
+	Name   string
+	format Format
+	out    io.Writer
+	window sim.Duration
+
+	start       sim.Time
+	windowStart sim.Time
+	winPkts     uint64
+	winBytes    uint64
+
+	TotalPackets uint64
+	TotalBytes   uint64
+
+	pktRate  OnlineStats // Mpps per window
+	byteRate OnlineStats // Gbit/s (wire rate incl. framing not added here)
+
+	finalized bool
+	lastTime  sim.Time
+}
+
+// CounterConfig configures a Counter.
+type CounterConfig struct {
+	Name   string
+	Format Format
+	Out    io.Writer
+	// Window is the sampling interval (default 1 simulated second —
+	// MoonGen prints once a second; simulations usually pass ms).
+	Window sim.Duration
+	// Start is the counter's epoch.
+	Start sim.Time
+}
+
+// NewCounter creates a counter.
+func NewCounter(cfg CounterConfig) *Counter {
+	if cfg.Window <= 0 {
+		cfg.Window = sim.Second
+	}
+	c := &Counter{
+		Name:        cfg.Name,
+		format:      cfg.Format,
+		out:         cfg.Out,
+		window:      cfg.Window,
+		start:       cfg.Start,
+		windowStart: cfg.Start,
+	}
+	if c.out == nil {
+		c.format = FormatNone
+	}
+	if c.format == FormatCSV && c.out != nil {
+		fmt.Fprintf(c.out, "counter,time_s,mpps,gbps\n")
+	}
+	return c
+}
+
+// Update adds n packets of the given total byte size at time now —
+// MoonGen's txCtr:updateWithSize(sent, size). Closing windows emits
+// one rate sample each.
+func (c *Counter) Update(n int, bytes int, now sim.Time) {
+	c.lastTime = now
+	for now.Sub(c.windowStart) >= c.window {
+		c.closeWindow()
+	}
+	c.winPkts += uint64(n)
+	c.winBytes += uint64(bytes)
+	c.TotalPackets += uint64(n)
+	c.TotalBytes += uint64(bytes)
+}
+
+// CountPacket adds a single packet (rx counter idiom).
+func (c *Counter) CountPacket(bytes int, now sim.Time) { c.Update(1, bytes, now) }
+
+func (c *Counter) closeWindow() {
+	secs := c.window.Seconds()
+	mpps := float64(c.winPkts) / secs / 1e6
+	gbps := float64(c.winBytes) * 8 / secs / 1e9
+	c.pktRate.Add(mpps)
+	c.byteRate.Add(gbps)
+	c.windowStart = c.windowStart.Add(c.window)
+	c.winPkts, c.winBytes = 0, 0
+	switch c.format {
+	case FormatPlain:
+		fmt.Fprintf(c.out, "[%s] %.2f Mpps, %.2f Gbit/s\n", c.Name, mpps, gbps)
+	case FormatCSV:
+		fmt.Fprintf(c.out, "%s,%.6f,%.4f,%.4f\n", c.Name, c.windowStart.Seconds(), mpps, gbps)
+	}
+}
+
+// Finalize closes the last window and prints the summary — the
+// counters' finalize() in Listing 2/3. Safe to call once.
+func (c *Counter) Finalize(now sim.Time) {
+	if c.finalized {
+		return
+	}
+	c.finalized = true
+	for now.Sub(c.windowStart) >= c.window && c.windowStart.Add(c.window) <= now {
+		c.closeWindow()
+	}
+	switch c.format {
+	case FormatPlain:
+		fmt.Fprintf(c.out, "[%s] TOTAL: %d packets, %d bytes, %.2f ± %.2f Mpps, %.2f ± %.2f Gbit/s\n",
+			c.Name, c.TotalPackets, c.TotalBytes,
+			c.pktRate.Mean(), c.pktRate.Std(), c.byteRate.Mean(), c.byteRate.Std())
+	case FormatCSV:
+		fmt.Fprintf(c.out, "%s,total,%d,%d\n", c.Name, c.TotalPackets, c.TotalBytes)
+	}
+}
+
+// MppsStats returns the mean and stddev of the per-window packet rate.
+func (c *Counter) MppsStats() (mean, std float64) { return c.pktRate.Mean(), c.pktRate.Std() }
+
+// GbpsStats returns the mean and stddev of the per-window byte rate.
+func (c *Counter) GbpsStats() (mean, std float64) { return c.byteRate.Mean(), c.byteRate.Std() }
+
+// AverageMpps returns the whole-run average packet rate.
+func (c *Counter) AverageMpps() float64 {
+	span := c.lastTime.Sub(c.start).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.TotalPackets) / span / 1e6
+}
+
+// Histogram is a fixed-bin-width histogram over durations, the tool
+// behind Figure 8 (inter-arrival times, 64 ns bins) and the latency
+// distributions of Figures 10/11. It also tracks exact order statistics
+// via a sample buffer for percentile queries.
+type Histogram struct {
+	BinWidth sim.Duration
+
+	bins  map[int64]uint64
+	count uint64
+	sum   float64
+	sumsq float64
+	min   sim.Duration
+	max   sim.Duration
+
+	// samples retains raw values for exact percentiles. Capped to
+	// avoid unbounded growth; above the cap, percentiles come from
+	// bins (precision = BinWidth, fine for 64 ns bins).
+	samples    []sim.Duration
+	maxSamples int
+	sorted     bool
+}
+
+// NewHistogram creates a histogram with the given bin width (64 ns in
+// the paper's measurements).
+func NewHistogram(binWidth sim.Duration) *Histogram {
+	if binWidth <= 0 {
+		binWidth = 64 * sim.Nanosecond
+	}
+	return &Histogram{
+		BinWidth:   binWidth,
+		bins:       make(map[int64]uint64),
+		min:        math.MaxInt64,
+		max:        math.MinInt64,
+		maxSamples: 1 << 20,
+	}
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d sim.Duration) {
+	h.count++
+	f := float64(d)
+	h.sum += f
+	h.sumsq += f * f
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.bins[int64(d)/int64(h.BinWidth)]++
+	if len(h.samples) < h.maxSamples {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(h.count))
+}
+
+// Std returns the population standard deviation.
+func (h *Histogram) Std() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	m := h.sum / float64(h.count)
+	v := h.sumsq/float64(h.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return sim.Duration(math.Sqrt(v))
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() sim.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100).
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if uint64(len(h.samples)) == h.count {
+		h.ensureSorted()
+		idx := int(p / 100 * float64(len(h.samples)-1))
+		return h.samples[idx]
+	}
+	// Bin-based fallback.
+	keys := make([]int64, 0, len(h.bins))
+	for k := range h.bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	target := uint64(p / 100 * float64(h.count))
+	var cum uint64
+	for _, k := range keys {
+		cum += h.bins[k]
+		if cum >= target {
+			return sim.Duration(k * int64(h.BinWidth))
+		}
+	}
+	return h.max
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() sim.Duration { return h.Percentile(50) }
+
+// Quartiles returns the 25th, 50th and 75th percentiles — the series
+// plotted in Figures 10 and 11.
+func (h *Histogram) Quartiles() (q1, q2, q3 sim.Duration) {
+	return h.Percentile(25), h.Percentile(50), h.Percentile(75)
+}
+
+// FractionWithin returns the fraction of samples within ±tol of center,
+// the Table 4 bucket metric (±64/128/256/512 ns around the target
+// inter-arrival time).
+func (h *Histogram) FractionWithin(center, tol sim.Duration) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if uint64(len(h.samples)) == h.count {
+		n := 0
+		for _, s := range h.samples {
+			if s >= center-tol && s <= center+tol {
+				n++
+			}
+		}
+		return float64(n) / float64(h.count)
+	}
+	lo, hi := int64(center-tol)/int64(h.BinWidth), int64(center+tol)/int64(h.BinWidth)
+	var cum uint64
+	for k, v := range h.bins {
+		if k >= lo && k <= hi {
+			cum += v
+		}
+	}
+	return float64(cum) / float64(h.count)
+}
+
+// FractionBelow returns the fraction of samples ≤ limit — the
+// micro-burst metric (inter-arrival ≤ back-to-back time).
+func (h *Histogram) FractionBelow(limit sim.Duration) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if uint64(len(h.samples)) == h.count {
+		n := 0
+		for _, s := range h.samples {
+			if s <= limit {
+				n++
+			}
+		}
+		return float64(n) / float64(h.count)
+	}
+	key := int64(limit) / int64(h.BinWidth)
+	var cum uint64
+	for k, v := range h.bins {
+		if k <= key {
+			cum += v
+		}
+	}
+	return float64(cum) / float64(h.count)
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Lo    sim.Duration
+	Count uint64
+}
+
+// Bins returns the non-empty buckets in ascending order.
+func (h *Histogram) Bins() []Bin {
+	keys := make([]int64, 0, len(h.bins))
+	for k := range h.bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Bin, len(keys))
+	for i, k := range keys {
+		out[i] = Bin{Lo: sim.Duration(k * int64(h.BinWidth)), Count: h.bins[k]}
+	}
+	return out
+}
+
+// WriteCSV dumps "bin_lo_ns,count,probability" rows.
+func (h *Histogram) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "bin_lo_ns,count,probability\n")
+	for _, b := range h.Bins() {
+		fmt.Fprintf(w, "%.1f,%d,%.6f\n", b.Lo.Nanoseconds(), b.Count, float64(b.Count)/float64(h.count))
+	}
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestOnlineStats(t *testing.T) {
+	var o OnlineStats
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.Count() != 8 {
+		t.Fatalf("count = %d", o.Count())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %f", o.Mean())
+	}
+	if math.Abs(o.Std()-2) > 1e-12 {
+		t.Fatalf("std = %f", o.Std())
+	}
+}
+
+func TestOnlineStatsMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var o OnlineStats
+		var sum float64
+		for _, x := range xs {
+			x = math.Mod(x, 1e6) // avoid float blowups
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			o.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return o.Mean() == 0
+		}
+		return math.Abs(o.Mean()-sum/float64(len(xs))) < 1e-6*(1+math.Abs(sum))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	c := NewCounter(CounterConfig{Name: "tx", Window: sim.Millisecond})
+	// 1000 packets of 60 B per ms for 10 ms = 1 Mpps, 0.48 Gbit/s.
+	for ms := 0; ms < 10; ms++ {
+		for i := 0; i < 10; i++ {
+			now := sim.Time(ms)*sim.Time(sim.Millisecond) + sim.Time(i*100)*sim.Time(sim.Microsecond)
+			c.Update(100, 100*60, now)
+		}
+	}
+	c.Finalize(sim.Time(10 * sim.Millisecond))
+	mean, std := c.MppsStats()
+	if math.Abs(mean-1.0) > 0.01 {
+		t.Fatalf("mpps = %f ± %f", mean, std)
+	}
+	if std > 0.02 {
+		t.Fatalf("std = %f for constant rate", std)
+	}
+	gb, _ := c.GbpsStats()
+	if math.Abs(gb-0.48) > 0.01 {
+		t.Fatalf("gbps = %f", gb)
+	}
+	if c.TotalPackets != 10000 {
+		t.Fatalf("total = %d", c.TotalPackets)
+	}
+}
+
+func TestCounterPlainOutput(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCounter(CounterConfig{Name: "rx", Format: FormatPlain, Out: &buf, Window: sim.Millisecond})
+	c.Update(1000, 60000, sim.Time(500*sim.Microsecond))
+	c.Update(1000, 60000, sim.Time(1500*sim.Microsecond)) // closes window 1
+	c.Finalize(sim.Time(2 * sim.Millisecond))
+	out := buf.String()
+	if !strings.Contains(out, "[rx]") || !strings.Contains(out, "TOTAL") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestCounterCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCounter(CounterConfig{Name: "rx", Format: FormatCSV, Out: &buf, Window: sim.Millisecond})
+	c.Update(100, 6000, sim.Time(2*sim.Millisecond))
+	c.Finalize(sim.Time(3 * sim.Millisecond))
+	out := buf.String()
+	if !strings.HasPrefix(out, "counter,time_s,mpps,gbps") {
+		t.Fatalf("missing CSV header: %q", out)
+	}
+	if !strings.Contains(out, "rx,total,100,6000") {
+		t.Fatalf("missing total line: %q", out)
+	}
+}
+
+func TestCounterFinalizeIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCounter(CounterConfig{Name: "x", Format: FormatPlain, Out: &buf})
+	c.Update(1, 60, 0)
+	c.Finalize(sim.Time(sim.Second))
+	n := buf.Len()
+	c.Finalize(sim.Time(2 * sim.Second))
+	if buf.Len() != n {
+		t.Fatal("second Finalize produced output")
+	}
+}
+
+func TestAverageMpps(t *testing.T) {
+	c := NewCounter(CounterConfig{Name: "x", Window: sim.Millisecond})
+	c.Update(14880, 14880*60, sim.Time(sim.Millisecond))
+	if avg := c.AverageMpps(); math.Abs(avg-14.88) > 0.01 {
+		t.Fatalf("avg = %f", avg)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(64 * sim.Nanosecond)
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Duration(i) * 10 * sim.Nanosecond) // 10..1000 ns
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 10*sim.Nanosecond || h.Max() != 1000*sim.Nanosecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != sim.Duration(5050)*sim.Nanosecond/10 {
+		t.Fatalf("mean = %v", m)
+	}
+	med := h.Median()
+	if med < 490*sim.Nanosecond || med > 510*sim.Nanosecond {
+		t.Fatalf("median = %v", med)
+	}
+	q1, q2, q3 := h.Quartiles()
+	if !(q1 < q2 && q2 < q3) {
+		t.Fatalf("quartiles %v %v %v", q1, q2, q3)
+	}
+}
+
+func TestHistogramFractionWithin(t *testing.T) {
+	h := NewHistogram(sim.Nanosecond)
+	center := 2 * sim.Microsecond
+	for i := -100; i <= 100; i++ {
+		h.Add(center + sim.Duration(i)*sim.Nanosecond)
+	}
+	if f := h.FractionWithin(center, 50*sim.Nanosecond); math.Abs(f-101.0/201) > 0.001 {
+		t.Fatalf("within ±50ns = %f", f)
+	}
+	if f := h.FractionWithin(center, 200*sim.Nanosecond); f != 1 {
+		t.Fatalf("within ±200ns = %f", f)
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram(sim.Nanosecond)
+	h.Add(672 * sim.Nanosecond)
+	h.Add(672 * sim.Nanosecond)
+	h.Add(2 * sim.Microsecond)
+	h.Add(2 * sim.Microsecond)
+	if f := h.FractionBelow(700 * sim.Nanosecond); f != 0.5 {
+		t.Fatalf("below = %f", f)
+	}
+}
+
+func TestHistogramBinsAndCSV(t *testing.T) {
+	h := NewHistogram(64 * sim.Nanosecond)
+	h.Add(10 * sim.Nanosecond)  // bin 0
+	h.Add(70 * sim.Nanosecond)  // bin 1
+	h.Add(100 * sim.Nanosecond) // bin 1
+	bins := h.Bins()
+	if len(bins) != 2 || bins[0].Count != 1 || bins[1].Count != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	var buf bytes.Buffer
+	h.WriteCSV(&buf)
+	if !strings.Contains(buf.String(), "64.0,2,0.666667") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+// TestHistogramPercentileBinFallback exercises the bin-based percentile
+// path by overflowing the sample buffer.
+func TestHistogramPercentileBinFallback(t *testing.T) {
+	h := NewHistogram(sim.Nanosecond)
+	h.maxSamples = 10
+	for i := 0; i < 1000; i++ {
+		h.Add(sim.Duration(i) * sim.Nanosecond)
+	}
+	med := h.Median()
+	if med < 480*sim.Nanosecond || med > 520*sim.Nanosecond {
+		t.Fatalf("fallback median = %v", med)
+	}
+	// FractionWithin/Below fall back too.
+	if f := h.FractionBelow(499 * sim.Nanosecond); math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("fallback below = %f", f)
+	}
+	if f := h.FractionWithin(500*sim.Nanosecond, 100*sim.Nanosecond); math.Abs(f-0.2) > 0.02 {
+		t.Fatalf("fallback within = %f", f)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(64 * sim.Nanosecond)
+		for _, v := range raw {
+			h.Add(sim.Duration(v) * sim.Nanosecond)
+		}
+		last := sim.Duration(-1)
+		for p := 5.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStd(t *testing.T) {
+	h := NewHistogram(sim.Nanosecond)
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(sim.Duration(v) * sim.Nanosecond)
+	}
+	if s := h.Std(); s != 2*sim.Nanosecond {
+		t.Fatalf("std = %v", s)
+	}
+}

@@ -1,0 +1,218 @@
+// Package wire models Ethernet links: line-rate serialization with
+// preamble/IFG accounting, cable propagation delay, PHY modulation
+// constants, and the timestamp-relevant quirks of fiber (10GBASE-SR)
+// versus copper (10GBASE-T) PHYs from the paper's Table 3.
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Speed is a link speed in bits per second.
+type Speed float64
+
+// Link speeds used in the paper.
+const (
+	Speed1G  Speed = 1e9
+	Speed10G Speed = 10e9
+	Speed40G Speed = 40e9
+)
+
+// ByteTime returns the serialization time of one byte at the given
+// speed: 8 ns at 1 GbE, 0.8 ns at 10 GbE, 0.2 ns at 40 GbE. These are
+// exact in picoseconds.
+func ByteTime(s Speed) sim.Duration {
+	return sim.Duration(float64(8*sim.Second) / float64(s))
+}
+
+// FrameTime returns the wire occupancy of a frame of the given size
+// (size includes the FCS, per the paper's convention: 64 B minimum),
+// including preamble, SFD and inter-frame gap.
+func FrameTime(s Speed, frameSize int) sim.Duration {
+	return sim.Duration(frameSize+proto.WireOverhead) * ByteTime(s)
+}
+
+// LineRatePPS returns the maximum packet rate for the frame size
+// (with FCS): 14.88 Mpps for 64 B at 10 GbE.
+func LineRatePPS(s Speed, frameSize int) float64 {
+	return float64(s) / 8 / float64(frameSize+proto.WireOverhead)
+}
+
+// SpeedOfLight is the vacuum speed of light in meters per nanosecond.
+const SpeedOfLight = 0.299792458
+
+// PHYProfile captures a PHY's latency behaviour as measured in Table 3.
+type PHYProfile struct {
+	Name string
+
+	// ModulationNS is the constant (de)modulation time k of the full
+	// path (both PHYs of a link), in nanoseconds: 310.7 for the
+	// 82599's 10GBASE-SR fiber path, 2147.2 for the X540's 10GBASE-T
+	// path — higher "due to the more complex line code required for
+	// 10GBASE-T".
+	ModulationNS float64
+
+	// VP is the cable propagation speed as a fraction of c: 0.72 for
+	// the OM3 fiber, 0.69 for Cat 5e copper.
+	VP float64
+
+	// RxJitter models the 10GBASE-T block code (§6.1): the PHY's
+	// 3200-bit layer-1 frames introduce receive-timestamp variance.
+	// More than 99.5% of measurements land within ±SmallJitterNS of
+	// the median, the min-max range is RangeNS. Zero disables jitter
+	// (fiber shows none).
+	SmallJitterNS  float64
+	RangeNS        float64
+	LargeJitterPct float64 // fraction of samples drawing the large jitter
+}
+
+// Predefined PHY profiles from the paper's testbed.
+var (
+	// PHY10GBaseSR is the fiber path: 82599 + 10GBASE-SR SFP+ modules
+	// and OM3 multimode fiber. No observable timestamp jitter.
+	PHY10GBaseSR = PHYProfile{
+		Name:         "10GBASE-SR",
+		ModulationNS: 310.7,
+		VP:           0.72,
+	}
+	// PHY10GBaseT is the copper path: X540 with Cat 5e. The block
+	// code adds jitter: >99.5% within ±6.4 ns, 64 ns min-max range.
+	PHY10GBaseT = PHYProfile{
+		Name:           "10GBASE-T",
+		ModulationNS:   2147.2,
+		VP:             0.69,
+		SmallJitterNS:  6.4,
+		RangeNS:        64,
+		LargeJitterPct: 0.004,
+	}
+	// PHY1GBaseT is the 82580 GbE copper path used for inter-arrival
+	// measurements.
+	PHY1GBaseT = PHYProfile{
+		Name:         "1000BASE-T",
+		ModulationNS: 900,
+		VP:           0.69,
+	}
+)
+
+// PropagationDelay returns l/vp for a cable of the given length.
+func (p PHYProfile) PropagationDelay(lengthM float64) sim.Duration {
+	return sim.FromNanoseconds(lengthM / (p.VP * SpeedOfLight))
+}
+
+// PathLatency returns the full fixed path latency k + l/vp.
+func (p PHYProfile) PathLatency(lengthM float64) sim.Duration {
+	return sim.FromNanoseconds(p.ModulationNS) + p.PropagationDelay(lengthM)
+}
+
+// Jitter draws one receive-timestamp jitter sample.
+func (p PHYProfile) Jitter(rng *rand.Rand) sim.Duration {
+	if p.SmallJitterNS == 0 {
+		return 0
+	}
+	if p.LargeJitterPct > 0 && rng.Float64() < p.LargeJitterPct {
+		half := p.RangeNS / 2
+		return sim.FromNanoseconds(rng.Float64()*p.RangeNS - half)
+	}
+	return sim.FromNanoseconds(rng.Float64()*2*p.SmallJitterNS - p.SmallJitterNS)
+}
+
+// Frame is a frame in flight on a link. Data excludes the FCS; CRCOK
+// records whether the FCS was valid when the MAC emitted it (the §8
+// rate-control filler frames are emitted with CRCOK=false). WireSize is
+// the frame size including FCS — possibly below the legal 64 B minimum
+// for short filler frames.
+type Frame struct {
+	Data     []byte
+	WireSize int
+	CRCOK    bool
+
+	// SeqNo is the link-level emission sequence number, used by tests
+	// to check that delivery order matches transmission order.
+	SeqNo uint64
+}
+
+// Endpoint consumes frames delivered by a link.
+type Endpoint interface {
+	// DeliverFrame is called when the first bit's receive timestamp
+	// instant is reached (arrival + demodulation); the frame is fully
+	// received serTime later. rxTime is the PHY-level timestamp
+	// instant including jitter.
+	DeliverFrame(f *Frame, rxTime sim.Time)
+}
+
+// Link is one direction of a full-duplex cable between two ports.
+// Create two (one per direction) for a full-duplex connection.
+type Link struct {
+	eng     *sim.Engine
+	speed   Speed
+	phy     PHYProfile
+	lengthM float64
+	peer    Endpoint
+
+	busyUntil sim.Time // wire occupied until this instant (TX side)
+	seq       uint64
+
+	// TxFrames / TxBytes count what was put on the wire.
+	TxFrames uint64
+	TxBytes  uint64
+}
+
+// NewLink creates a unidirectional link.
+func NewLink(eng *sim.Engine, speed Speed, phy PHYProfile, lengthM float64, peer Endpoint) *Link {
+	if peer == nil {
+		panic("wire: nil peer")
+	}
+	return &Link{eng: eng, speed: speed, phy: phy, lengthM: lengthM, peer: peer}
+}
+
+// Speed returns the link speed.
+func (l *Link) Speed() Speed { return l.speed }
+
+// PHY returns the PHY profile.
+func (l *Link) PHY() PHYProfile { return l.phy }
+
+// ByteTime returns the per-byte serialization time of this link.
+func (l *Link) ByteTime() sim.Duration { return ByteTime(l.speed) }
+
+// NextTxSlot returns the earliest time a new frame may start
+// transmitting (the wire enforces serialization spacing).
+func (l *Link) NextTxSlot() sim.Time {
+	if l.busyUntil > l.eng.Now() {
+		return l.busyUntil
+	}
+	return l.eng.Now()
+}
+
+// Transmit puts a frame on the wire at the current time, which must be
+// ≥ NextTxSlot (the MAC model is responsible for waiting). It returns
+// the time the wire becomes free again. The receive side gets a
+// DeliverFrame callback at start-of-frame + path latency (+ jitter).
+func (l *Link) Transmit(f *Frame) sim.Time {
+	now := l.eng.Now()
+	if now < l.busyUntil {
+		panic(fmt.Sprintf("wire: transmit at %v while busy until %v", now, l.busyUntil))
+	}
+	occupancy := sim.Duration(f.WireSize+proto.WireOverhead) * l.ByteTime()
+	l.busyUntil = now.Add(occupancy)
+	l.seq++
+	f.SeqNo = l.seq
+	l.TxFrames++
+	l.TxBytes += uint64(f.WireSize)
+
+	rxTime := now.Add(sim.Duration(l.phy.PathLatency(l.lengthM))).Add(l.phy.Jitter(l.eng.Rand()))
+	l.eng.Schedule(rxTime, func() { l.peer.DeliverFrame(f, rxTime) })
+	return l.busyUntil
+}
+
+// Utilization returns the fraction of wire time used so far.
+func (l *Link) Utilization() float64 {
+	if l.eng.Now() == 0 {
+		return 0
+	}
+	used := sim.Duration(l.TxBytes+uint64(l.TxFrames)*proto.WireOverhead) * l.ByteTime()
+	return float64(used) / float64(l.eng.Now())
+}
