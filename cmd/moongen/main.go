@@ -1,22 +1,18 @@
-// Command moongen runs named packet-generation scenarios on the
-// simulated testbed — the CLI face of the library, loosely mirroring
-// `MoonGen <script.lua> <args>`. Each scenario corresponds to one of
-// the example scripts shipped with the original tool.
+// Command moongen runs named traffic scenarios from the scenario
+// registry on the simulated testbed — the CLI face of the library,
+// mirroring `MoonGen <script.lua> <args>`. Scenarios register
+// themselves (internal/scenario for the load scenarios,
+// internal/experiments for the measurement-backed ones); this driver
+// only maps flags onto the declarative Spec and prints the report.
 //
 // Usage:
 //
+//	moongen list
 //	moongen <scenario> [flags]
 //
-// Scenarios:
-//
-//	flood        line-rate UDP flood with randomized source IPs
-//	cbr          hardware-rate-controlled CBR stream
-//	poisson      Poisson traffic via CRC-gap software rate control
-//	bursts       bursty traffic (l2-bursts.lua)
-//	latency      hardware-timestamped latency measurement
-//
-// Flags after the scenario: -rate (Mpps), -size (bytes, without FCS),
-// -runtime (ms), -seed.
+// Flags override the scenario's default spec: -rate (Mpps), -size
+// (bytes, without FCS), -runtime (ms), -seed, -pattern, -burst,
+// -probes, -samples, -steps, -dut.
 package main
 
 import (
@@ -24,13 +20,12 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mempool"
-	"repro/internal/nic"
-	"repro/internal/proto"
-	"repro/internal/rate"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/wire"
+
+	// Registers the experiment-backed scenarios (interarrival-*,
+	// timestamps).
+	_ "repro/internal/experiments"
 )
 
 func main() {
@@ -38,93 +33,59 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	scenario := os.Args[1]
-	fs := flag.NewFlagSet(scenario, flag.ExitOnError)
-	var (
-		rateMpps = fs.Float64("rate", 1.0, "rate [Mpps] (0 = line rate where applicable)")
-		size     = fs.Int("size", 60, "frame size without FCS")
-		runMS    = fs.Float64("runtime", 50, "simulated run time [ms]")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		burst    = fs.Int("burst", 16, "burst size for the bursts scenario")
-	)
-	_ = fs.Parse(os.Args[2:])
-
-	app := core.NewApp(*seed)
-	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
-	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
-	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
-
-	pktSize := *size
-	fill := func(m *mempool.Mbuf, i uint64) {
-		p := proto.UDPPacket{B: m.Payload()}
-		p.Fill(proto.UDPPacketFill{
-			PktLength: pktSize,
-			EthSrc:    tx.MAC(), EthDst: rx.MAC(),
-			IPSrc: proto.MustIPv4("10.0.0.1") + proto.IPv4(i%256), IPDst: proto.MustIPv4("10.1.0.1"),
-			UDPSrc: 1234, UDPDst: 5678,
-		})
+	name := os.Args[1]
+	if name == "list" || name == "-list" || name == "--list" {
+		fmt.Println("scenarios:")
+		scenario.WriteList(os.Stdout)
+		return
 	}
-
-	// Discard receive traffic so rings don't fill.
-	app.LaunchTask("rx-drain", func(t *core.Task) {
-		bufs := make([]*mempool.Mbuf, 512)
-		for t.Running() {
-			if n := rx.GetRxQueue(0).Recv(bufs); n > 0 {
-				core.FreeBatch(bufs, n)
-			} else {
-				t.Sleep(20 * sim.Microsecond)
-			}
-		}
-	})
-
-	switch scenario {
-	case "flood":
-		pool := core.CreateMemPool(4096, func(m *mempool.Mbuf) { m.Len = pktSize; fill(m, 0) })
-		flood := &core.UDPFlood{
-			Queue: tx.GetTxQueue(0), PktSize: pktSize,
-			BaseIP: proto.MustIPv4("10.0.0.1"), Pool: pool,
-		}
-		app.LaunchTask("flood", flood.Run)
-	case "cbr":
-		h := &core.HWRateTx{Queue: tx.GetTxQueue(0), PPS: *rateMpps * 1e6, PktSize: pktSize, Fill: fill}
-		app.LaunchTask("cbr", h.Run)
-	case "poisson":
-		g := &core.GapTx{Queue: tx.GetTxQueue(0), Pattern: rate.NewPoissonPPS(*rateMpps * 1e6), PktSize: pktSize, Fill: fill}
-		app.LaunchTask("poisson", g.Run)
-	case "bursts":
-		b2b := wire.FrameTime(wire.Speed10G, pktSize+proto.FCSLen)
-		pat := &rate.Bursts{Size: *burst, AvgInterval: sim.FromSeconds(1 / (*rateMpps * 1e6)), BackToBack: b2b}
-		g := &core.GapTx{Queue: tx.GetTxQueue(0), Pattern: pat, PktSize: pktSize, Fill: fill}
-		app.LaunchTask("bursts", g.Run)
-	case "latency":
-		h := &core.HWRateTx{Queue: tx.GetTxQueue(0), PPS: *rateMpps * 1e6, PktSize: pktSize, Fill: fill}
-		app.LaunchTask("load", h.Run)
-		ts := core.NewTimestamper(tx.GetTxQueue(1), rx.Port)
-		app.LaunchTask("latency", func(t *core.Task) {
-			hist := ts.MeasureLatency(t, 500, 50*sim.Microsecond)
-			fmt.Printf("latency: median %.1f ns, min %.1f, max %.1f over %d probes\n",
-				hist.Median().Nanoseconds(), hist.Min().Nanoseconds(),
-				hist.Max().Nanoseconds(), hist.Count())
-		})
-	default:
+	sc, ok := scenario.Get(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n\n", name)
 		usage()
 		os.Exit(2)
 	}
 
-	window := sim.FromSeconds(*runMS / 1e3)
-	var atStop nic.Stats
-	app.Eng.Schedule(sim.Time(window), func() { atStop = rx.GetStats() })
-	app.RunFor(window)
+	spec := sc.DefaultSpec()
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var (
+		rateMpps = fs.Float64("rate", spec.RateMpps, "rate [Mpps] (0 = line rate where applicable)")
+		size     = fs.Int("size", spec.PktSize, "frame size without FCS")
+		runMS    = fs.Float64("runtime", spec.Runtime.Seconds()*1e3, "simulated run time [ms]")
+		seed     = fs.Int64("seed", spec.Seed, "simulation seed")
+		pattern  = fs.String("pattern", string(spec.Pattern), "pattern: linerate, cbr, poisson or bursts")
+		burst    = fs.Int("burst", spec.Burst, "burst size for the bursts pattern")
+		probes   = fs.Int("probes", spec.Probes, "timestamped latency probes (0 = none)")
+		samples  = fs.Int("samples", spec.Samples, "samples for distribution measurements")
+		steps    = fs.Int("steps", spec.Steps, "sweep steps for sweeping scenarios")
+		useDuT   = fs.Bool("dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
+	)
+	_ = fs.Parse(os.Args[2:])
 
-	secs := window.Seconds()
-	fmt.Printf("scenario=%s: rx %.3f Mpps (%.2f Gbit/s wire), crc-dropped %d, missed %d\n",
-		scenario,
-		float64(atStop.RxPackets)/secs/1e6,
-		float64(atStop.RxBytes+atStop.RxPackets*(proto.FCSLen+proto.WireOverhead))*8/secs/1e9,
-		atStop.RxCRCErrors, atStop.RxMissed)
-	os.Exit(0)
+	spec.RateMpps = *rateMpps
+	spec.PktSize = *size
+	if *runMS > 0 {
+		spec.Runtime = sim.FromSeconds(*runMS / 1e3)
+	}
+	spec.Seed = *seed
+	spec.Pattern = scenario.Pattern(*pattern)
+	spec.Burst = *burst
+	spec.Probes = *probes
+	spec.Samples = *samples
+	spec.Steps = *steps
+	spec.UseDuT = *useDuT
+
+	rep, err := scenario.Execute(name, spec, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: moongen <flood|cbr|poisson|bursts|latency> [-rate M] [-size B] [-runtime MS] [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] ...")
+	fmt.Fprintln(os.Stderr, "       moongen list")
+	fmt.Fprintln(os.Stderr, "\nscenarios:")
+	scenario.WriteList(os.Stderr)
 }

@@ -1,11 +1,8 @@
 // Command interarrival mirrors inter-arrival-times.lua: an Intel 82580
-// GbE receiver timestamps every received packet in line rate with 64 ns
-// precision (§6), and the script histograms the inter-arrival times —
-// the measurement behind Figure 8 and Table 4.
-//
-// Usage:
-//
-//	interarrival [-gen moongen|pktgen|zsend] [-rate 500] [-samples 50000] [-seed 1]
+// GbE receiver timestamps every packet at line rate with 64 ns
+// precision (§6) and the inter-arrival times are histogrammed — the
+// measurement behind Figure 8 and Table 4. Thin wrapper over the
+// registered "interarrival-<generator>" scenarios.
 package main
 
 import (
@@ -13,73 +10,28 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
-	"repro/internal/sim"
+	_ "repro/internal/experiments" // registers the interarrival-* scenarios
+	"repro/internal/scenario"
 )
 
 func main() {
-	var (
-		gen     = flag.String("gen", "moongen", "generator: moongen, pktgen or zsend")
-		rate    = flag.Float64("rate", 500, "target rate [kpps]")
-		samples = flag.Int("samples", 50000, "inter-arrival samples to collect")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		csv     = flag.Bool("csv", false, "dump the histogram as CSV")
-	)
+	gen := flag.String("gen", "moongen", "generator: moongen, pktgen or zsend")
+	rate := flag.Float64("rate", 500, "target rate [kpps]")
+	samples := flag.Int("samples", 50000, "inter-arrival samples to collect")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "dump the histogram as CSV")
 	flag.Parse()
 
-	var g experiments.Generator
-	switch *gen {
-	case "moongen":
-		g = experiments.GenMoonGen
-	case "pktgen":
-		g = experiments.GenPktgen
-	case "zsend":
-		g = experiments.GenZsend
-	default:
-		fmt.Printf("unknown generator %q\n", *gen)
-		os.Exit(2)
+	rep, err := scenario.Execute("interarrival-"+*gen, scenario.Spec{
+		RateMpps: *rate / 1e3, Samples: *samples, Seed: *seed,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	scale := experiments.ScaleTest
-	scale.Samples = *samples
-	res := experiments.RunInterArrival(scale, *seed, g, *rate*1e3)
-
-	fmt.Printf("%s at %.0f kpps: %d inter-arrival samples (64 ns bins)\n",
-		res.Generator, res.RateKpps, res.Hist.Count())
-	fmt.Printf("  micro-bursts (back-to-back): %.2f%%\n", res.MicroBurst*100)
-	for _, tol := range []int{64, 128, 256, 512} {
-		fmt.Printf("  within ±%3d ns of target: %.1f%%\n", tol, res.Within[tol]*100)
-	}
-	fmt.Printf("  mean %.2f µs  std %.2f µs\n",
-		res.Hist.Mean().Microseconds(), res.Hist.Std().Microseconds())
-
 	if *csv {
-		res.Hist.WriteCSV(os.Stdout)
-	} else {
-		// Compact ASCII histogram around the interesting region.
-		fmt.Println("\nhistogram (probability per 64 ns bin):")
-		max := uint64(0)
-		for _, b := range res.Hist.Bins() {
-			if b.Count > max {
-				max = b.Count
-			}
-		}
-		for _, b := range res.Hist.Bins() {
-			frac := float64(b.Count) / float64(res.Hist.Count())
-			if frac < 0.002 {
-				continue
-			}
-			bar := int(float64(b.Count) / float64(max) * 50)
-			fmt.Printf("  %7.2f µs %6.2f%% %s\n",
-				sim.Duration(b.Lo).Microseconds(), frac*100, bars(bar))
-		}
+		rep.Latency.WriteCSV(os.Stdout)
+		return
 	}
-}
-
-func bars(n int) string {
-	s := make([]byte, n)
-	for i := range s {
-		s[i] = '#'
-	}
-	return string(s)
+	rep.Print(os.Stdout)
 }

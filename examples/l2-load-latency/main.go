@@ -1,11 +1,6 @@
-// Command l2-load-latency mirrors l2-load-latency.lua: one task
-// generates rate-controlled load, a second task measures latencies with
-// hardware timestamping (layer-2 PTP probes, one in flight, per-probe
-// clock resync), and the receive side counts everything.
-//
-// Usage:
-//
-//	l2-load-latency [-rate 1000] [-size 60] [-probes 500] [-runtime 100] [-seed 1]
+// Command l2-load-latency mirrors l2-load-latency.lua — rate-
+// controlled load plus hardware-timestamped latency probes — as a thin
+// wrapper over the "latency" scenario in the registry.
 package main
 
 import (
@@ -13,89 +8,29 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mempool"
-	"repro/internal/nic"
-	"repro/internal/proto"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/wire"
 )
 
 func main() {
-	var (
-		rateKpps = flag.Float64("rate", 1000, "load rate [kpps] (0 = line rate)")
-		size     = flag.Int("size", 60, "frame size without FCS")
-		probes   = flag.Int("probes", 500, "timestamped probes")
-		runMS    = flag.Float64("runtime", 100, "simulated run time [ms]")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-	)
+	rateKpps := flag.Float64("rate", 1000, "load rate [kpps] (0 = line rate)")
+	size := flag.Int("size", 60, "frame size without FCS")
+	probes := flag.Int("probes", 500, "timestamped probes")
+	runMS := flag.Float64("runtime", 100, "simulated run time [ms]")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	app := core.NewApp(*seed)
-	// Two queues: queue 0 carries load, queue 1 carries timestamped
-	// probes — the paper's two-queue timestamping arrangement (§6.4).
-	txDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
-	rxDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 4096, RxPool: 8192})
-	app.ConnectDevices(txDev, rxDev, wire.PHY10GBaseT, 8.5)
-
-	pktSize := *size
-	pool := core.CreateMemPool(4096, func(buf *mempool.Mbuf) {
-		p := proto.UDPPacket{B: buf.Data[:pktSize]}
-		p.Fill(proto.UDPPacketFill{
-			PktLength: pktSize,
-			EthSrc:    txDev.MAC(), EthDst: rxDev.MAC(),
-			IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.1.0.1"),
-			UDPSrc: 1000, UDPDst: 2000,
-		})
-	})
-
-	if *rateKpps > 0 {
-		txDev.GetTxQueue(0).SetRatePPS(*rateKpps * 1e3)
+	pattern := scenario.PatternCBR
+	if *rateKpps <= 0 {
+		pattern = scenario.PatternLineRate
 	}
-
-	app.LaunchTask("loadSlave", func(t *core.Task) {
-		bufs := pool.BufArray(0)
-		for t.Running() {
-			n := t.AllocAll(bufs, pktSize)
-			if n == 0 {
-				break
-			}
-			core.OffloadUDPChecksums(bufs.Bufs, n)
-			t.SendAll(txDev.GetTxQueue(0), bufs.Bufs[:n])
-		}
-	})
-
-	rxCtr := stats.NewCounter(stats.CounterConfig{
-		Name: "rx", Format: stats.FormatPlain, Out: os.Stdout, Window: 20 * sim.Millisecond})
-	app.LaunchTask("counterSlave", func(t *core.Task) {
-		bufs := make([]*mempool.Mbuf, 256)
-		for {
-			n := t.RecvPoll(rxDev.GetRxQueue(0), bufs)
-			if n == 0 {
-				break
-			}
-			for _, m := range bufs[:n] {
-				rxCtr.CountPacket(m.Len, t.Now())
-				m.Free()
-			}
-		}
-		rxCtr.Finalize(t.Now())
-	})
-
-	ts := core.NewTimestamper(txDev.GetTxQueue(1), rxDev.Port)
-	app.LaunchTask("timestampSlave", func(t *core.Task) {
-		h := ts.MeasureLatency(t, *probes, 50*sim.Microsecond)
-		fmt.Printf("\nlatency over %d probes (lost %d):\n", h.Count(), ts.Lost)
-		fmt.Printf("  min %.1f ns  median %.1f ns  max %.1f ns  stddev %.1f ns\n",
-			h.Min().Nanoseconds(), h.Median().Nanoseconds(),
-			h.Max().Nanoseconds(), h.Std().Nanoseconds())
-		q1, q2, q3 := h.Quartiles()
-		fmt.Printf("  quartiles: %.1f / %.1f / %.1f ns\n",
-			q1.Nanoseconds(), q2.Nanoseconds(), q3.Nanoseconds())
-		fmt.Printf("  (8.5 m 10GBASE-T path: k + l/vp = %.1f ns)\n",
-			wire.PHY10GBaseT.PathLatency(8.5).Nanoseconds())
-	})
-
-	app.RunFor(sim.FromSeconds(*runMS / 1e3))
+	rep, err := scenario.Execute("latency", scenario.Spec{
+		Pattern: pattern, RateMpps: *rateKpps / 1e3, PktSize: *size,
+		Probes: *probes, Runtime: sim.FromSeconds(*runMS / 1e3), Seed: *seed,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
 }

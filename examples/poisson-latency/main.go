@@ -1,104 +1,33 @@
-// Command poisson-latency mirrors l2-poisson-load-latency.lua: Poisson
-// traffic generated with the paper's CRC-gap software rate control (§8)
-// against the simulated Open vSwitch forwarder, with hardware-
-// timestamped latency probes through the DuT — the Figure 11 setup.
-//
-// Usage:
-//
-//	poisson-latency [-rate 1.0] [-pattern poisson] [-probes 300] [-runtime 100] [-seed 1]
+// Command poisson-latency mirrors l2-poisson-load-latency.lua: CRC-gap
+// Poisson (or CBR) traffic through the simulated Open vSwitch DuT with
+// hardware-timestamped latency probes — the Figure 11 setup — as a
+// thin wrapper over the "poisson"/"cbr" scenarios with Spec.UseDuT.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/dut"
-	"repro/internal/mempool"
-	"repro/internal/nic"
-	"repro/internal/proto"
-	"repro/internal/rate"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/wire"
 )
 
 func main() {
-	var (
-		rateMpps = flag.Float64("rate", 1.0, "average load [Mpps]")
-		pattern  = flag.String("pattern", "poisson", "traffic pattern: poisson or cbr")
-		probes   = flag.Int("probes", 300, "timestamped probes")
-		runMS    = flag.Float64("runtime", 100, "simulated run time [ms]")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-	)
+	rateMpps := flag.Float64("rate", 1.0, "average load [Mpps]")
+	pattern := flag.String("pattern", "poisson", "traffic pattern: poisson or cbr")
+	probes := flag.Int("probes", 300, "timestamped probes")
+	runMS := flag.Float64("runtime", 100, "simulated run time [ms]")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	app := core.NewApp(*seed)
-	gen := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
-	dutIn := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
-	dutOut := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 2})
-	sink := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 3, RxRing: 4096, RxPool: 8192})
-	app.ConnectDevices(gen, dutIn, wire.PHY10GBaseT, 2)
-	app.ConnectDevices(dutOut, sink, wire.PHY10GBaseT, 2)
-
-	fwd := dut.New(app.Eng, dutIn.Port, dutOut.Port, dut.DefaultConfig())
-
-	var pat rate.Pattern
-	switch *pattern {
-	case "poisson":
-		pat = rate.NewPoissonPPS(*rateMpps * 1e6)
-	case "cbr":
-		pat = rate.NewCBRPPS(*rateMpps * 1e6)
-	default:
-		fmt.Printf("unknown pattern %q\n", *pattern)
-		return
+	rep, err := scenario.Execute(*pattern, scenario.Spec{
+		Pattern: scenario.Pattern(*pattern), RateMpps: *rateMpps, UseDuT: true,
+		Probes: *probes, Runtime: sim.FromSeconds(*runMS / 1e3), Seed: *seed,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	const pktSize = 60
-	gapTx := &core.GapTx{
-		Queue:   gen.GetTxQueue(0),
-		Pattern: pat,
-		PktSize: pktSize,
-		Fill: func(m *mempool.Mbuf, i uint64) {
-			p := proto.UDPPacket{B: m.Payload()}
-			p.Fill(proto.UDPPacketFill{
-				PktLength: pktSize,
-				IPSrc:     proto.MustIPv4("10.0.0.1"),
-				IPDst:     proto.MustIPv4("10.1.0.1"),
-				UDPSrc:    1000, UDPDst: 2000,
-			})
-		},
-	}
-	app.LaunchTask("gap-load", gapTx.Run)
-
-	// Drain the sink so its rings don't overflow silently.
-	app.LaunchTask("sink-drain", func(t *core.Task) {
-		bufs := make([]*mempool.Mbuf, 256)
-		for t.Running() {
-			if n := sink.GetRxQueue(0).Recv(bufs); n > 0 {
-				core.FreeBatch(bufs, n)
-			} else {
-				t.Sleep(50 * sim.Microsecond)
-			}
-		}
-	})
-
-	ts := core.NewTimestamper(gen.GetTxQueue(1), sink.Port)
-	ts.Timeout = 5 * sim.Millisecond
-	app.LaunchTask("timestamping", func(t *core.Task) {
-		t.Sleep(sim.Millisecond) // let the load ramp up
-		h := ts.MeasureLatency(t, *probes, 100*sim.Microsecond)
-		q1, q2, q3 := h.Quartiles()
-		fmt.Printf("pattern=%s load=%.2f Mpps: %d probes (lost %d)\n",
-			pat.Name(), *rateMpps, h.Count(), ts.Lost)
-		fmt.Printf("  latency quartiles: %.1f / %.1f / %.1f µs\n",
-			q1.Microseconds(), q2.Microseconds(), q3.Microseconds())
-	})
-
-	app.RunFor(sim.FromSeconds(*runMS / 1e3))
-
-	fmt.Printf("\nDuT: forwarded=%d dropped=%d interrupts=%d (%.0f Hz)\n",
-		fwd.Forwarded, fwd.Dropped, fwd.Interrupts,
-		fwd.InterruptRate(sim.FromSeconds(*runMS/1e3)))
-	fmt.Printf("generator: %d real packets, %d invalid fillers (dropped by DuT NIC: %d)\n",
-		gapTx.Sent, gapTx.Fillers, dutIn.GetStats().RxCRCErrors)
+	rep.Print(os.Stdout)
 }

@@ -1,15 +1,8 @@
-// Command qos-test reproduces the paper's §4 example script,
-// quality-of-service-test.lua (Listings 1-3): two transmit tasks
-// generate a prioritized foreground UDP flow and a background UDP flow
-// at hardware-controlled rates; a counter task tallies per-port
-// throughput on the receive side; a timestamping task samples
-// latencies of the foreground flow.
-//
-// Usage:
-//
-//	qos-test [-fg-rate 100] [-bg-rate 800] [-runtime 100] [-seed 1]
-//
-// Rates are in kpps; runtime in milliseconds.
+// Command qos-test reproduces the paper's §4 example script
+// (quality-of-service-test.lua, Listings 1-3) as a thin wrapper over
+// the "qos" scenario: a prioritized foreground flow and a background
+// flow on separate hardware-shaped queues, per-flow receive accounting
+// and per-flow latency histograms.
 package main
 
 import (
@@ -17,112 +10,27 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mempool"
-	"repro/internal/nic"
-	"repro/internal/proto"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/wire"
 )
 
-const pktSize = 124 // PKT_SIZE from the example script
-
 func main() {
-	var (
-		fgRate = flag.Float64("fg-rate", 100, "foreground rate [kpps]")
-		bgRate = flag.Float64("bg-rate", 800, "background rate [kpps]")
-		runMS  = flag.Float64("runtime", 100, "simulated run time [ms]")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-	)
+	fgRate := flag.Float64("fg-rate", 100, "foreground rate [kpps]")
+	bgRate := flag.Float64("bg-rate", 800, "background rate [kpps]")
+	runMS := flag.Float64("runtime", 100, "simulated run time [ms]")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	// master (Listing 1): configure one TX device with two queues and
-	// one RX device, set per-queue rates, launch the slaves.
-	app := core.NewApp(*seed)
-	tDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2, RxQueues: 1})
-	rDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 4096, RxPool: 8192})
-	app.ConnectDevices(tDev, rDev, wire.PHY10GBaseT, 2)
-
-	tDev.GetTxQueue(0).SetRatePPS(*bgRate * 1e3)
-	tDev.GetTxQueue(1).SetRatePPS(*fgRate * 1e3)
-
-	app.LaunchTask("loadSlave-bg", func(t *core.Task) { loadSlave(t, tDev.GetTxQueue(0), rDev, 42) })
-	app.LaunchTask("loadSlave-fg", func(t *core.Task) { loadSlave(t, tDev.GetTxQueue(1), rDev, 43) })
-	app.LaunchTask("counterSlave", func(t *core.Task) { counterSlave(t, rDev.GetRxQueue(0)) })
-
-	// Timestamping task from the full example: sample foreground-path
-	// latencies with hardware timestamps.
-	ts := core.NewTimestamper(tDev.GetTxQueue(1), rDev.Port)
-	app.LaunchTask("timestamper", func(t *core.Task) {
-		h := ts.MeasureLatency(t, 200, 100*sim.Microsecond)
-		fmt.Printf("[latency] %d samples: median %.0f ns, min %.0f, max %.0f\n",
-			h.Count(), h.Median().Nanoseconds(), h.Min().Nanoseconds(), h.Max().Nanoseconds())
-	})
-
-	app.RunFor(sim.FromSeconds(*runMS / 1e3)) // mg.waitForSlaves()
-}
-
-// loadSlave is Listing 2: pre-fill a mempool, then touch only the
-// source IP per packet, offload checksums, send.
-func loadSlave(t *core.Task, queue *nic.TxQueue, rDev *core.Device, port uint16) {
-	mem := core.CreateMemPool(4096, func(buf *mempool.Mbuf) {
-		p := proto.UDPPacket{B: buf.Data[:pktSize]}
-		p.Fill(proto.UDPPacketFill{
-			PktLength: pktSize,
-			EthSrc:    queue.MAC(), // "get MAC from device"
-			EthDst:    rDev.MAC(),
-			IPDst:     proto.MustIPv4("192.168.1.1"),
-			UDPSrc:    1234,
-			UDPDst:    port,
-		})
-	})
-	txCtr := stats.NewCounter(stats.CounterConfig{
-		Name: fmt.Sprintf("tx-port-%d", port), Format: stats.FormatPlain,
-		Out: os.Stdout, Window: 20 * sim.Millisecond})
-	baseIP := proto.MustIPv4("10.0.0.1")
-	bufs := mem.BufArray(0)
-	rng := t.Engine().Rand()
-	for t.Running() {
-		n := t.AllocAll(bufs, pktSize)
-		if n == 0 {
-			break
-		}
-		for _, buf := range bufs.Slice(n) {
-			pkt := proto.UDPPacket{B: buf.Payload()}
-			pkt.IP().SetSrc(baseIP + proto.IPv4(rng.Intn(255)))
-		}
-		core.OffloadUDPChecksums(bufs.Bufs, n)
-		sent := t.SendAll(queue, bufs.Bufs[:n])
-		txCtr.Update(sent, sent*pktSize, t.Now())
+	sc, _ := scenario.Get("qos")
+	spec := sc.DefaultSpec()
+	spec.Flows[0].RateMpps = *fgRate / 1e3
+	spec.Flows[1].RateMpps = *bgRate / 1e3
+	spec.Runtime = sim.FromSeconds(*runMS / 1e3)
+	spec.Seed = *seed
+	rep, err := scenario.Execute("qos", spec, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	txCtr.Finalize(t.Now())
-}
-
-// counterSlave is Listing 3: count received packets per UDP
-// destination port.
-func counterSlave(t *core.Task, queue *nic.RxQueue) {
-	bufs := make([]*mempool.Mbuf, 128)
-	counters := map[uint16]*stats.Counter{}
-	for {
-		rx := t.RecvPoll(queue, bufs)
-		if rx == 0 {
-			break
-		}
-		for _, buf := range bufs[:rx] {
-			port := proto.UDPPacket{B: buf.Payload()}.UDP().DstPort()
-			ctr := counters[port]
-			if ctr == nil {
-				ctr = stats.NewCounter(stats.CounterConfig{
-					Name: fmt.Sprintf("rx-port-%d", port), Format: stats.FormatPlain,
-					Out: os.Stdout, Window: 20 * sim.Millisecond})
-				counters[port] = ctr
-			}
-			ctr.CountPacket(buf.Len, t.Now())
-			buf.Free()
-		}
-	}
-	for _, ctr := range counters {
-		ctr.Finalize(t.Now())
-	}
+	rep.Print(os.Stdout)
 }

@@ -1,15 +1,6 @@
-// Command quickstart is the minimal end-to-end example: one transmit
-// task floods minimum-sized UDP packets with randomized source
-// addresses from a pre-filled mempool (the paper's Listing 2 pattern),
-// while a receive task counts the traffic per UDP destination port
-// (Listing 3). Runs entirely on the simulated testbed.
-//
-// Usage:
-//
-//	quickstart [-runtime 50ms] [-size 60] [-rate 0] [-seed 1]
-//
-// A -rate of 0 sends at line rate; otherwise the hardware rate limiter
-// shapes to the given Mpps.
+// Command quickstart is the minimal end-to-end example — the paper's
+// Listing 2/3 flood — as a thin wrapper over the "flood" scenario in
+// the internal/scenario registry.
 package main
 
 import (
@@ -17,105 +8,24 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mempool"
-	"repro/internal/nic"
-	"repro/internal/proto"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/wire"
 )
 
 func main() {
-	os.Exit(run())
-}
-
-func run() int {
-	var (
-		runMS = flag.Float64("runtime", 50, "simulated run time in milliseconds")
-		size  = flag.Int("size", 60, "frame size without FCS")
-		rate  = flag.Float64("rate", 0, "target rate in Mpps (0 = line rate)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-	)
+	runMS := flag.Float64("runtime", 50, "simulated run time [ms]")
+	size := flag.Int("size", 60, "frame size without FCS")
+	rate := flag.Float64("rate", 0, "target rate [Mpps] (0 = line rate)")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	app := core.NewApp(*seed)
-	txDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0})
-	rxDev := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 4096, RxPool: 8192})
-	app.ConnectDevices(txDev, rxDev, wire.PHY10GBaseT, 2)
-
-	pktSize := *size
-	pool := core.CreateMemPool(4096, func(buf *mempool.Mbuf) {
-		p := proto.UDPPacket{B: buf.Data[:pktSize]}
-		p.Fill(proto.UDPPacketFill{
-			PktLength: pktSize,
-			EthSrc:    txDev.MAC(),
-			EthDst:    rxDev.MAC(),
-			IPSrc:     proto.MustIPv4("10.0.0.1"),
-			IPDst:     proto.MustIPv4("192.168.1.1"),
-			UDPSrc:    1234,
-			UDPDst:    42,
-		})
-	})
-
-	if *rate > 0 {
-		txDev.GetTxQueue(0).SetRatePPS(*rate * 1e6)
+	rep, err := scenario.Execute("flood", scenario.Spec{
+		Pattern: scenario.PatternLineRate, RateMpps: *rate, PktSize: *size,
+		Runtime: sim.FromSeconds(*runMS / 1e3), Seed: *seed,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	txCtr := stats.NewCounter(stats.CounterConfig{
-		Name: "tx", Format: stats.FormatPlain, Out: os.Stdout, Window: 10 * sim.Millisecond})
-	rxCtr := stats.NewCounter(stats.CounterConfig{
-		Name: "rx", Format: stats.FormatPlain, Out: os.Stdout, Window: 10 * sim.Millisecond})
-
-	// loadSlave (Listing 2).
-	app.LaunchTask("loadSlave", func(t *core.Task) {
-		flood := &core.UDPFlood{
-			Queue:   txDev.GetTxQueue(0),
-			PktSize: pktSize,
-			BaseIP:  proto.MustIPv4("10.0.0.1"),
-			Pool:    pool,
-		}
-		bufs := pool.BufArray(0)
-		rng := t.Engine().Rand()
-		for t.Running() {
-			n := t.AllocAll(bufs, pktSize)
-			if n == 0 {
-				break
-			}
-			for _, m := range bufs.Slice(n) {
-				pkt := proto.UDPPacket{B: m.Payload()}
-				pkt.IP().SetSrc(flood.BaseIP + proto.IPv4(rng.Intn(256)))
-			}
-			core.OffloadUDPChecksums(bufs.Bufs, n)
-			sent := t.SendAll(txDev.GetTxQueue(0), bufs.Bufs[:n])
-			txCtr.Update(sent, sent*pktSize, t.Now())
-		}
-		txCtr.Finalize(t.Now())
-	})
-
-	// counterSlave (Listing 3).
-	app.LaunchTask("counterSlave", func(t *core.Task) {
-		bufs := make([]*mempool.Mbuf, 128)
-		for {
-			n := t.RecvPoll(rxDev.GetRxQueue(0), bufs)
-			if n == 0 {
-				break
-			}
-			for _, m := range bufs[:n] {
-				rxCtr.CountPacket(m.Len, t.Now())
-				m.Free()
-			}
-		}
-		rxCtr.Finalize(t.Now())
-	})
-
-	app.RunFor(sim.FromSeconds(*runMS / 1e3))
-
-	st := txDev.GetStats()
-	fmt.Printf("\nNIC stats: tx=%d packets rx=%d packets missed=%d\n",
-		st.TxPackets, rxDev.GetStats().RxPackets, rxDev.GetStats().RxMissed)
-	fmt.Printf("achieved: %.2f Mpps (line rate for %dB frames: %.2f Mpps)\n",
-		rxCtr.AverageMpps(), pktSize+proto.FCSLen,
-		wire.LineRatePPS(wire.Speed10G, pktSize+proto.FCSLen)/1e6)
-	return 0
+	rep.Print(os.Stdout)
 }

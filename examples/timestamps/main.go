@@ -1,12 +1,8 @@
-// Command timestamps mirrors timestamps.lua: measure path latency with
-// hardware timestamps over several cable lengths, then fit the
-// modulation constant k and the propagation speed vp — the Table 3
-// procedure, including the 82599's bimodal quantization on mid-grid
-// cables.
-//
-// Usage:
-//
-//	timestamps [-nic 82599|x540] [-probes 2000] [-seed 1]
+// Command timestamps mirrors timestamps.lua: hardware-timestamped path
+// latency over several cable lengths, fitting the modulation constant
+// k and the propagation speed vp (the Table 3 procedure, including the
+// 82599's bimodal quantization). Thin wrapper over the registered
+// "timestamps" scenario.
 package main
 
 import (
@@ -14,25 +10,21 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	_ "repro/internal/experiments" // registers the timestamps scenario
+	"repro/internal/scenario"
 )
 
 func main() {
-	var (
-		probes = flag.Int("probes", 2000, "probes per cable")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-	)
+	probes := flag.Int("probes", 2000, "probes per cable")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	scale := experiments.ScaleTest
-	scale.Probes = *probes
-	res := experiments.RunTable3(scale, *seed)
-	res.Print(os.Stdout)
-
-	fmt.Printf("\nfitted: 82599 fiber k=%.1f ns vp=%.3fc (paper 310.7 / 0.72)\n",
-		res.FiberK, res.FiberVPc)
-	fmt.Printf("fitted: X540 copper k=%.1f ns vp=%.3fc (paper 2147.2 / 0.69)\n",
-		res.CopperK, res.CopperVPc)
-	fmt.Printf("8.5 m fiber observations: %v ns (paper: bimodal 345.6 / 358.4)\n",
-		res.Fiber85Values)
+	rep, err := scenario.Execute("timestamps", scenario.Spec{
+		Probes: *probes, Seed: *seed,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
 }

@@ -78,6 +78,9 @@ func TestFig3XL710(t *testing.T) {
 }
 
 func TestFig4Scaling120G(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12-core soak; covered by the full suite")
+	}
 	r := RunFig4(ScaleTest, 4)
 	// Every added core adds a full line-rate port: 14.88 Mpps each.
 	for i, m := range r.Mpps {
@@ -220,6 +223,9 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9-point DuT soak; covered by the full suite")
+	}
 	r := RunFig7(ScaleTest, 11)
 	// MoonGen's interrupt rate exceeds zsend's at every load point
 	// below saturation.
@@ -262,6 +268,9 @@ func TestFig10Equivalence(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-point DuT latency soak; covered by the full suite")
+	}
 	r := RunFig11(ScaleTest, 13)
 	idx := func(load float64) int {
 		for i, l := range r.Loads {

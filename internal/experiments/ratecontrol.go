@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/dut"
 	"repro/internal/mempool"
 	"repro/internal/nic"
 	"repro/internal/proto"
 	"repro/internal/rate"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -163,43 +163,15 @@ func RunTable4(scale Scale, seed int64) *Table4Result {
 	return res
 }
 
-// dutBed is the forwarding testbed: generator -> DuT -> sink, with a
-// timestamping path from the generator's probe queue to the sink port.
+// dutBed is the forwarding testbed: generator -> DuT -> sink. It is
+// the shared scenario.DuTBed (same bed every DuT scenario runs on)
+// plus the experiment-side launch helpers.
 type dutBed struct {
-	app    *core.App
-	gen    *core.Device
-	dutIn  *core.Device
-	dutOut *core.Device
-	sink   *core.Device
-	fwd    *dut.Forwarder
-	ts     *core.Timestamper
+	*scenario.DuTBed
 }
 
 func newDutBed(seed int64) *dutBed {
-	b := &dutBed{app: core.NewApp(seed)}
-	b.gen = b.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
-	b.dutIn = b.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
-	b.dutOut = b.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 2})
-	b.sink = b.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 3, RxRing: 4096, RxPool: 8192})
-	b.app.ConnectDevices(b.gen, b.dutIn, wire.PHY10GBaseT, 2)
-	b.app.ConnectDevices(b.dutOut, b.sink, wire.PHY10GBaseT, 2)
-	b.fwd = dut.New(b.app.Eng, b.dutIn.Port, b.dutOut.Port, dut.DefaultConfig())
-	b.ts = core.NewTimestamper(b.gen.GetTxQueue(1), b.sink.Port)
-	b.ts.Timeout = 5 * sim.Millisecond
-	// Drain the sink's receive rings so forwarded load does not just
-	// overflow counters.
-	sink := b.sink
-	b.app.LaunchTask("sink-drain", func(t *core.Task) {
-		bufs := make([]*mempool.Mbuf, 512)
-		for t.Running() {
-			if n := sink.GetRxQueue(0).Recv(bufs); n > 0 {
-				core.FreeBatch(bufs, n)
-			} else {
-				t.Sleep(50 * sim.Microsecond)
-			}
-		}
-	})
-	return b
+	return &dutBed{DuTBed: scenario.NewDuTBed(core.NewApp(seed), 2)}
 }
 
 // RateControlMethod selects how CBR load is produced for Figure 10.
@@ -213,14 +185,14 @@ const (
 
 // launchLoad starts the load task for the chosen method/pattern.
 func (b *dutBed) launchLoad(method RateControlMethod, pattern rate.Pattern, pps float64, pktSize int) {
-	q := b.gen.GetTxQueue(0)
+	q := b.Gen.GetTxQueue(0)
 	switch method {
 	case MethodHardware:
 		tx := &core.HWRateTx{Queue: q, PPS: pps, PktSize: pktSize, Fill: fillPlainUDP(pktSize)}
-		b.app.LaunchTask("load-hw", tx.Run)
+		b.App.LaunchTask("load-hw", tx.Run)
 	case MethodCRCGap:
 		tx := &core.GapTx{Queue: q, Pattern: pattern, PktSize: pktSize, Fill: fillPlainUDP(pktSize)}
-		b.app.LaunchTask("load-gap", tx.Run)
+		b.App.LaunchTask("load-gap", tx.Run)
 	}
 }
 
@@ -234,12 +206,12 @@ func (b *dutBed) measureLatency(probes int, window sim.Duration) *stats.Histogra
 	if pace < 0 {
 		pace = 0
 	}
-	b.app.LaunchTask("timestamping", func(t *core.Task) {
+	b.App.LaunchTask("timestamping", func(t *core.Task) {
 		// Let the load ramp up before probing.
 		t.Sleep(warmup)
-		h = b.ts.MeasureLatency(t, probes, pace)
+		h = b.TS.MeasureLatency(t, probes, pace)
 	})
-	b.app.RunFor(window)
+	b.App.RunFor(window)
 	return h
 }
 
@@ -262,10 +234,10 @@ func RunFig7(scale Scale, seed int64) *Fig7Result {
 
 	intRate := func(g Generator, mpps float64, seed int64) float64 {
 		b := newDutBed(seed)
-		launchGenerator(b.app, g, b.gen.GetTxQueue(0), mpps*1e6, 60)
+		launchGenerator(b.App, g, b.Gen.GetTxQueue(0), mpps*1e6, 60)
 		var atStop uint64
-		b.app.Eng.Schedule(sim.Time(window), func() { atStop = b.fwd.Interrupts })
-		b.app.RunFor(window)
+		b.App.Eng.Schedule(sim.Time(window), func() { atStop = b.Fwd.Interrupts })
+		b.App.RunFor(window)
 		return float64(atStop) / window.Seconds()
 	}
 

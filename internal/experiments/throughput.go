@@ -8,6 +8,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/nic"
 	"repro/internal/proto"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -136,28 +137,6 @@ func (pl *pacedLoad) run(app *core.App, window sim.Duration) (totalPkts uint64, 
 	return totalPkts, totalBytes
 }
 
-// buildPortPairs creates n generator ports, each cabled to a sink that
-// discards traffic, and returns one TX queue per generator port.
-func buildPortPairs(app *core.App, profile nic.Profile, n int, queuesPerPort int) [][]*nic.TxQueue {
-	phy := wire.PHY10GBaseT
-	if profile.Speed == wire.Speed40G {
-		phy = wire.PHY10GBaseSR
-	}
-	out := make([][]*nic.TxQueue, n)
-	for i := 0; i < n; i++ {
-		gen := app.ConfigDevice(core.DeviceConfig{Profile: profile, ID: 2 * i, TxQueues: queuesPerPort})
-		sink := app.ConfigDevice(core.DeviceConfig{Profile: profile, ID: 2*i + 1})
-		app.ConnectDevices(gen, sink, phy, 2)
-		sink.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
-		qs := make([]*nic.TxQueue, queuesPerPort)
-		for qi := 0; qi < queuesPerPort; qi++ {
-			qs[qi] = gen.GetTxQueue(qi)
-		}
-		out[i] = qs
-	}
-	return out
-}
-
 // FreqSweepResult is §5.2: rate versus CPU frequency for MoonGen and
 // Pktgen-DPDK on the simple UDP workload.
 type FreqSweepResult struct {
@@ -179,7 +158,7 @@ func RunFreqSweep(scale Scale, seed int64) *FreqSweepResult {
 
 	runOne := func(w cpu.Workload, f cpu.Freq, seed int64) float64 {
 		app := core.NewApp(seed)
-		queues := buildPortPairs(app, nic.ChipX540, 1, 1)
+		queues := scenario.BuildPortPairs(app, nic.ChipX540, 1, 1)
 		pl := &pacedLoad{cores: 1, freq: f, workload: w, pktSize: 60, queues: queues}
 		pkts, _ := pl.run(app, scale.Window)
 		return float64(pkts) / (scale.Window - scale.Window/4).Seconds()
@@ -228,7 +207,7 @@ func RunFig2(scale Scale, seed int64) *ScalingResult {
 	for cores := 1; cores <= 8; cores++ {
 		app := core.NewApp(seed + int64(cores))
 		// Two ports; each core drives one queue on each port.
-		ports := buildPortPairs(app, nic.ChipX540, 2, cores)
+		ports := scenario.BuildPortPairs(app, nic.ChipX540, 2, cores)
 		queues := make([][]*nic.TxQueue, cores)
 		for c := 0; c < cores; c++ {
 			queues[c] = []*nic.TxQueue{ports[0][c], ports[1][c]}
@@ -262,7 +241,7 @@ func RunFig4(scale Scale, seed int64) *ScalingResult {
 
 	for cores := 1; cores <= 12; cores++ {
 		app := core.NewApp(seed + int64(cores))
-		queues := buildPortPairs(app, nic.ChipX540, cores, 1)
+		queues := scenario.BuildPortPairs(app, nic.ChipX540, cores, 1)
 		pl := &pacedLoad{
 			cores: cores, freq: 2 * cpu.GHz,
 			workload: cpu.SimpleUDPWorkload,
@@ -300,7 +279,7 @@ func RunFig3(scale Scale, seed int64) *Fig3Result {
 		vals := make([]float64, 3)
 		for cores := 1; cores <= 3; cores++ {
 			app := core.NewApp(seed + int64(100*si+cores))
-			ports := buildPortPairs(app, nic.ChipXL710, 1, cores)
+			ports := scenario.BuildPortPairs(app, nic.ChipXL710, 1, cores)
 			queues := make([][]*nic.TxQueue, cores)
 			for c := 0; c < cores; c++ {
 				queues[c] = []*nic.TxQueue{ports[0][c]}
@@ -384,7 +363,7 @@ func RunCostEstimate(scale Scale, seed int64) *CostEstimateResult {
 		PredictedStd:  w.PPSPredictionStd(2.4*cpu.GHz) / 1e6,
 	}
 	app := core.NewApp(seed)
-	queues := buildPortPairs(app, nic.ChipX540, 1, 1)
+	queues := scenario.BuildPortPairs(app, nic.ChipX540, 1, 1)
 	pl := &pacedLoad{cores: 1, freq: 2.4 * cpu.GHz, workload: w, pktSize: 60, queues: queues}
 	pkts, _ := pl.run(app, scale.Window)
 	res.SimulatedMpps = float64(pkts) / (scale.Window - scale.Window/4).Seconds() / 1e6
@@ -417,7 +396,7 @@ func RunSizeSweep(scale Scale, seed int64) *SizeSweepResult {
 	res.Columns = []string{"Mpps"}
 	for size := 64; size <= 128; size += 8 {
 		app := core.NewApp(seed + int64(size))
-		queues := buildPortPairs(app, nic.ChipX540, 1, 1)
+		queues := scenario.BuildPortPairs(app, nic.ChipX540, 1, 1)
 		pl := &pacedLoad{
 			cores: 1, freq: 1.2 * cpu.GHz,
 			workload: cpu.HeavyRandomWorkload,

@@ -2,10 +2,23 @@ package ring
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
 )
+
+// soakItems picks the item count for the concurrent soak tests: enough
+// to exercise wraparound and contention in -short CI runs, a longer
+// soak otherwise. The spin loops yield (runtime.Gosched) so the test
+// does not degenerate into scheduler-starved busy waiting on small
+// machines.
+func soakItems(full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
 
 func TestCeilPow2(t *testing.T) {
 	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 127: 128, 128: 128, 129: 256}
@@ -109,7 +122,7 @@ func TestSPSCWraparound(t *testing.T) {
 // TestSPSCConcurrent checks FIFO order and no loss/duplication with a
 // real producer/consumer goroutine pair.
 func TestSPSCConcurrent(t *testing.T) {
-	const total = 60000
+	total := soakItems(60000)
 	r := NewSPSC[int](128)
 	var got []int
 	var wg sync.WaitGroup
@@ -119,6 +132,8 @@ func TestSPSCConcurrent(t *testing.T) {
 		for i := 0; i < total; {
 			if r.EnqueueOne(i) {
 				i++
+			} else {
+				runtime.Gosched()
 			}
 		}
 	}()
@@ -128,6 +143,9 @@ func TestSPSCConcurrent(t *testing.T) {
 		for len(got) < total {
 			n := r.Dequeue(buf)
 			got = append(got, buf[:n]...)
+			if n == 0 {
+				runtime.Gosched()
+			}
 		}
 	}()
 	wg.Wait()
@@ -183,8 +201,8 @@ func TestMPMCConcurrent(t *testing.T) {
 	const (
 		producers = 4
 		consumers = 4
-		perProd   = 15000
 	)
+	perProd := soakItems(15000)
 	q := NewMPMC[int](256)
 	var mu sync.Mutex
 	seen := make(map[int]int, producers*perProd)
@@ -197,6 +215,7 @@ func TestMPMCConcurrent(t *testing.T) {
 			for i := 0; i < perProd; i++ {
 				v := p*perProd + i
 				for !q.EnqueueOne(v) {
+					runtime.Gosched()
 				}
 			}
 		}(p)
@@ -227,6 +246,7 @@ func TestMPMCConcurrent(t *testing.T) {
 						mu.Unlock()
 						return
 					default:
+						runtime.Gosched()
 						continue
 					}
 				}

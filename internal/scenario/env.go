@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Env is the shared testbed a scenario runs against. It owns the
+// simulation app and builds the canonical testbeds on demand: a direct
+// generator→sink cable, or generator→DuT→sink when Spec.UseDuT is set.
+// All the device/mempool/stats boilerplate the old examples duplicated
+// lives here, so a scenario body is only the traffic logic.
+type Env struct {
+	Spec Spec
+	// Out receives streaming output (per-window counters); reports are
+	// returned, not printed, so tests can run scenarios silently.
+	Out io.Writer
+
+	app   *core.App
+	tx    *core.Device
+	rx    *core.Device
+	dutIn *core.Device
+	fwd   *dut.Forwarder
+	ts    *core.Timestamper
+}
+
+// NewEnv prepares an environment for spec. The testbed itself is built
+// lazily on first use, so wrapper scenarios that construct their own
+// apps (the experiment-backed ones) pay nothing for it.
+func NewEnv(spec Spec, out io.Writer) *Env {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Env{Spec: spec.withDefaults(), Out: out}
+}
+
+// build constructs the testbed once: engine, devices, duplex links,
+// optional DuT forwarder, and the probe timestamper path.
+func (e *Env) build() {
+	if e.app != nil {
+		return
+	}
+	e.app = core.NewApp(e.Spec.Seed)
+	// One TX queue per flow plus one for timestamped probes.
+	txQueues := len(e.Spec.EffectiveFlows()) + 1
+	if txQueues < 2 {
+		txQueues = 2
+	}
+	if e.Spec.UseDuT {
+		bed := NewDuTBed(e.app, txQueues)
+		e.tx, e.rx, e.dutIn, e.fwd, e.ts = bed.Gen, bed.Sink, bed.DuTIn, bed.Fwd, bed.TS
+		return
+	}
+	e.tx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: txQueues})
+	e.rx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
+	e.app.ConnectDevices(e.tx, e.rx, wire.PHY10GBaseT, 2)
+}
+
+// App returns the simulation app (building the testbed on first use).
+func (e *Env) App() *core.App { e.build(); return e.app }
+
+// TX returns the generator device.
+func (e *Env) TX() *core.Device { e.build(); return e.tx }
+
+// RX returns the receive device (the sink when a DuT is in the path).
+func (e *Env) RX() *core.Device { e.build(); return e.rx }
+
+// Fwd returns the DuT forwarder (nil without UseDuT).
+func (e *Env) Fwd() *dut.Forwarder { e.build(); return e.fwd }
+
+// Timestamper returns the probe timestamper: TX's last queue into the
+// receive port's PTP latch (the paper's two-queue arrangement, §6.4).
+func (e *Env) Timestamper() *core.Timestamper {
+	e.build()
+	if e.ts == nil {
+		e.ts = core.NewTimestamper(e.tx.GetTxQueue(e.tx.NumTxQueues()-1), e.rx.Port)
+	}
+	return e.ts
+}
+
+// FlowFill returns the per-packet fill function for a flow at the
+// given frame size — the Listing 2 prefill body.
+func (e *Env) FlowFill(f Flow, size int) func(m *mempool.Mbuf, i uint64) {
+	e.build()
+	ethSrc, ethDst := e.tx.MAC(), e.rx.MAC()
+	switch f.L4 {
+	case "tcp":
+		return func(m *mempool.Mbuf, i uint64) {
+			p := proto.TCPPacket{B: m.Payload()}
+			p.Fill(proto.TCPPacketFill{
+				PktLength: size,
+				EthSrc:    ethSrc, EthDst: ethDst,
+				IPSrc: f.SrcIP, IPDst: f.DstIP,
+				TCPSrc: f.SrcPort, TCPDst: f.DstPort,
+			})
+			if f.TOS != 0 {
+				p.IP().SetTOS(f.TOS)
+			}
+		}
+	default: // "udp"
+		return func(m *mempool.Mbuf, i uint64) {
+			p := proto.UDPPacket{B: m.Payload()}
+			p.Fill(proto.UDPPacketFill{
+				PktLength: size,
+				EthSrc:    ethSrc, EthDst: ethDst,
+				IPSrc: f.SrcIP, IPDst: f.DstIP,
+				UDPSrc: f.SrcPort, UDPDst: f.DstPort,
+				TOS: f.TOS,
+			})
+		}
+	}
+}
+
+// NewFlowPool creates a mempool prefilled with the flow's packet
+// template at the given frame size.
+func (e *Env) NewFlowPool(f Flow, size, count int) *mempool.Pool {
+	if count <= 0 {
+		count = 4096
+	}
+	fill := e.FlowFill(f, size)
+	return core.CreateMemPool(count, func(m *mempool.Mbuf) {
+		m.Len = size
+		fill(m, 0)
+	})
+}
+
+// DrainRx launches the canonical receive-drain task so the sink's
+// rings never fill, streaming per-window rx counter lines to Env.Out
+// (the Listing 3 counter output the examples print while running).
+// Scenarios that consume received traffic themselves must not call
+// it. With a DuT in the path the sink drain is already installed by
+// the bed.
+func (e *Env) DrainRx() {
+	e.build()
+	if e.Spec.UseDuT {
+		return
+	}
+	rx := e.rx
+	ctr := e.NewCounter("rx")
+	e.app.LaunchTask("rx-drain", func(t *core.Task) {
+		bufs := make([]*mempool.Mbuf, 512)
+		for t.Running() {
+			if n := rx.GetRxQueue(0).Recv(bufs); n > 0 {
+				bytes := 0
+				for _, m := range bufs[:n] {
+					bytes += m.Len
+				}
+				ctr.Update(n, bytes, t.Now())
+				core.FreeBatch(bufs, n)
+			} else {
+				t.Sleep(20 * sim.Microsecond)
+			}
+		}
+		ctr.Finalize(t.Now())
+	})
+}
+
+// NewCounter creates a throughput counter that streams per-window
+// lines to Env.Out (silent when the Env runs with no output sink).
+func (e *Env) NewCounter(name string) *stats.Counter {
+	format := stats.FormatPlain
+	if e.Out == io.Discard {
+		format = stats.FormatNone
+	}
+	return stats.NewCounter(stats.CounterConfig{
+		Name: name, Format: format, Out: e.Out, Window: 20 * sim.Millisecond,
+	})
+}
+
+// CollectDuT appends the forwarder-side counters to rep when the
+// testbed routes through a DuT — the data the Figure 7/11 setups
+// report (forwarded/dropped packets, interrupt rate, and the CRC-gap
+// filler frames the DuT's NIC dropped in hardware).
+func (e *Env) CollectDuT(rep *Report) {
+	if e.fwd == nil {
+		return
+	}
+	rep.AddRow("DuT forwarded", float64(e.fwd.Forwarded), "packets")
+	rep.AddRow("DuT dropped", float64(e.fwd.Dropped), "packets")
+	rep.AddRow("DuT interrupts", float64(e.fwd.Interrupts), "ints")
+	rep.AddRow("DuT interrupt rate", e.fwd.InterruptRate(e.Spec.Runtime), "Hz")
+	rep.AddRow("DuT-ingress crc-dropped (fillers)", float64(e.dutIn.GetStats().RxCRCErrors), "packets")
+}
+
+// LaunchProbes starts the latency-probing task when Spec.Probes > 0:
+// after a warmup it spreads Spec.Probes timestamped probes across the
+// run and stores the histogram in rep.
+func (e *Env) LaunchProbes(rep *Report) {
+	probes := e.Spec.Probes
+	if probes <= 0 {
+		return
+	}
+	ts := e.Timestamper()
+	window := e.Spec.Runtime
+	warmup := window / 20
+	pace := (window - warmup - window/10) / sim.Duration(probes)
+	if pace < 0 {
+		pace = 0
+	}
+	e.app.LaunchTask("timestamping", func(t *core.Task) {
+		t.Sleep(warmup)
+		rep.Latency = ts.MeasureLatency(t, probes, pace)
+		rep.LostProbes = ts.Lost
+	})
+}
+
+// RunAndCollect runs the simulation for Spec.Runtime and fills rep's
+// NIC-counter baseline from a snapshot taken exactly at the window
+// edge (ring drain after the stop time is excluded, as everywhere in
+// the experiments).
+func (e *Env) RunAndCollect(rep *Report) {
+	e.build()
+	window := e.Spec.Runtime
+	var txStop, rxStop nic.Stats
+	e.app.Eng.Schedule(e.app.Now().Add(window), func() {
+		txStop = e.tx.GetStats()
+		rxStop = e.rx.GetStats()
+	})
+	e.app.RunFor(window)
+
+	rep.Window = window
+	rep.TxPackets = txStop.TxPackets
+	rep.TxBytes = txStop.TxBytes
+	rep.RxPackets = rxStop.RxPackets
+	rep.RxBytes = rxStop.RxBytes
+	rep.RxCRCErrors = rxStop.RxCRCErrors
+	rep.RxMissed = rxStop.RxMissed
+	secs := window.Seconds()
+	rep.RxMpps = float64(rxStop.RxPackets) / secs / 1e6
+	rep.RxGbpsWire = float64(rxStop.RxBytes+rxStop.RxPackets*(proto.FCSLen+proto.WireOverhead)) * 8 / secs / 1e9
+}
+
+// --- shared testbed builders (also used by internal/experiments) -----
+
+// DuTBed is the forwarding testbed: generator → DuT → sink, with a
+// timestamping path from the generator's probe queue to the sink port
+// and a sink-drain task already running. It replaces the private bed
+// builders the experiments used to carry.
+type DuTBed struct {
+	App    *core.App
+	Gen    *core.Device
+	DuTIn  *core.Device
+	DuTOut *core.Device
+	Sink   *core.Device
+	Fwd    *dut.Forwarder
+	TS     *core.Timestamper
+}
+
+// NewDuTBed builds the canonical DuT testbed on app. genTxQueues is
+// the generator's queue count (≥ 2; the last queue carries probes).
+func NewDuTBed(app *core.App, genTxQueues int) *DuTBed {
+	if genTxQueues < 2 {
+		genTxQueues = 2
+	}
+	b := &DuTBed{App: app}
+	b.Gen = app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: genTxQueues})
+	b.DuTIn = app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
+	b.DuTOut = app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 2})
+	b.Sink = app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 3, RxRing: 4096, RxPool: 8192})
+	app.ConnectDevices(b.Gen, b.DuTIn, wire.PHY10GBaseT, 2)
+	app.ConnectDevices(b.DuTOut, b.Sink, wire.PHY10GBaseT, 2)
+	b.Fwd = dut.New(app.Eng, b.DuTIn.Port, b.DuTOut.Port, dut.DefaultConfig())
+	b.TS = core.NewTimestamper(b.Gen.GetTxQueue(genTxQueues-1), b.Sink.Port)
+	b.TS.Timeout = 5 * sim.Millisecond
+	sink := b.Sink
+	app.LaunchTask("sink-drain", func(t *core.Task) {
+		bufs := make([]*mempool.Mbuf, 512)
+		for t.Running() {
+			if n := sink.GetRxQueue(0).Recv(bufs); n > 0 {
+				core.FreeBatch(bufs, n)
+			} else {
+				t.Sleep(50 * sim.Microsecond)
+			}
+		}
+	})
+	return b
+}
+
+// BuildPortPairs creates n generator ports, each cabled to a sink that
+// discards traffic in hardware, and returns one TX queue list per
+// generator port — the bed of the multi-port scaling experiments.
+func BuildPortPairs(app *core.App, profile nic.Profile, n, queuesPerPort int) [][]*nic.TxQueue {
+	phy := wire.PHY10GBaseT
+	if profile.Speed == wire.Speed40G {
+		phy = wire.PHY10GBaseSR
+	}
+	out := make([][]*nic.TxQueue, n)
+	for i := 0; i < n; i++ {
+		gen := app.ConfigDevice(core.DeviceConfig{Profile: profile, ID: 2 * i, TxQueues: queuesPerPort})
+		sink := app.ConfigDevice(core.DeviceConfig{Profile: profile, ID: 2*i + 1})
+		app.ConnectDevices(gen, sink, phy, 2)
+		sink.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
+		qs := make([]*nic.TxQueue, queuesPerPort)
+		for qi := 0; qi < queuesPerPort; qi++ {
+			qs[qi] = gen.GetTxQueue(qi)
+		}
+		out[i] = qs
+	}
+	return out
+}
+
+// FlowSize returns the effective frame size of a flow under spec.
+func (s Spec) FlowSize(f Flow) int {
+	if f.PktSize > 0 {
+		return f.PktSize
+	}
+	return s.PktSize
+}
+
+// String summarizes the spec for logs and error messages.
+func (s Spec) String() string {
+	return fmt.Sprintf("rate=%.3gMpps size=%dB pattern=%s runtime=%.1fms seed=%d",
+		s.RateMpps, s.PktSize, s.Pattern, s.Runtime.Seconds()*1e3, s.Seed)
+}

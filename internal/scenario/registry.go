@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. Registering a
+// duplicate name panics: two workloads silently shadowing each other is
+// a packaging bug.
+func Register(s Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteList prints one "name  description" line per registered
+// scenario — the body of `moongen list`.
+func WriteList(w io.Writer) {
+	for _, n := range Names() {
+		s, _ := Get(n)
+		fmt.Fprintf(w, "  %-14s %s\n", n, s.Describe())
+	}
+}
+
+// Execute runs the named scenario with the given spec. Zero-valued
+// spec fields fall back to scenario-independent defaults (60 B frames,
+// 50 ms runtime, seed 1); pass sc.DefaultSpec() for the scenario's own
+// canonical configuration. Output that scenarios stream while running
+// (per-window counters) goes to out; the returned Report is the final
+// result.
+func Execute(name string, spec Spec, out io.Writer) (*Report, error) {
+	sc, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	env := NewEnv(spec, out)
+	rep, err := sc.Run(env)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	rep.Scenario = name
+	return rep, nil
+}

@@ -1,0 +1,242 @@
+// Package scenario is the registry-driven traffic-scenario subsystem —
+// the Go analogue of MoonGen's userscripts. The paper's core pitch is
+// that arbitrary traffic scenarios are small scripts on top of one fast
+// datapath; here a scenario is a type implementing Scenario, configured
+// by a declarative Spec, running against a shared testbed Env that
+// handles the boilerplate every script used to duplicate (engine,
+// ports, duplex link, optional DuT, mempools, stats reporters).
+//
+// Scenarios self-register in a global registry (Register, usually from
+// init). cmd/moongen, the examples and the tests all drive scenarios
+// through Execute, so adding a workload is one new file that registers
+// one new type.
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Pattern selects the inter-departure process of a load scenario.
+type Pattern string
+
+// The canonical patterns. LineRate floods the queue unshaped; CBR uses
+// the hardware shaper (§7.2); Poisson and Bursts use the paper's
+// CRC-gap software rate control (§8).
+const (
+	PatternLineRate Pattern = "linerate"
+	PatternCBR      Pattern = "cbr"
+	PatternPoisson  Pattern = "poisson"
+	PatternBursts   Pattern = "bursts"
+)
+
+// Flow describes one traffic flow declaratively: L3/L4 protocol,
+// address ranges, ports and an optional per-flow rate.
+type Flow struct {
+	// Name labels the flow in reports ("fg", "bg", ...).
+	Name string
+	// L4 is the transport: "udp" (default) or "tcp".
+	L4 string
+	// SrcIP is the base source address; SrcIPCount > 1 randomizes the
+	// low bits over that many addresses (Listing 2's 256-address
+	// randomization).
+	SrcIP      proto.IPv4
+	SrcIPCount int
+	DstIP      proto.IPv4
+	SrcPort    uint16
+	DstPort    uint16
+	// RateMpps is the flow's hardware-shaped rate; 0 inherits the
+	// scenario rate (or line rate).
+	RateMpps float64
+	// PktSize overrides the spec frame size for this flow (without FCS).
+	PktSize int
+	// TOS marks the IPv4 TOS/DSCP byte (QoS scenarios).
+	TOS uint8
+}
+
+// SizeShare is one component of a frame-size mix.
+type SizeShare struct {
+	// Size is the frame size without FCS.
+	Size int
+	// Weight is the relative share of packets at this size.
+	Weight int
+}
+
+// IMIXMix is the classic simple-IMIX distribution (7:4:1 at 64, 594 and
+// 1518 bytes on the wire — sizes here exclude the 4-byte FCS).
+var IMIXMix = []SizeShare{{Size: 60, Weight: 7}, {Size: 590, Weight: 4}, {Size: 1514, Weight: 1}}
+
+// Spec is the declarative scenario configuration: what cmd/moongen
+// exposes as flags and what DefaultSpec pre-populates per scenario.
+type Spec struct {
+	// RateMpps is the aggregate target rate; 0 means line rate where
+	// applicable.
+	RateMpps float64
+	// PktSize is the frame size without FCS (default 60 = 64 on wire).
+	PktSize int
+	// Mix, when non-empty, draws per-packet sizes from this weighted
+	// mix instead of using the fixed PktSize.
+	Mix []SizeShare
+	// Pattern is the inter-departure process.
+	Pattern Pattern
+	// Burst is the burst size for PatternBursts.
+	Burst int
+	// Runtime is the simulated run time.
+	Runtime sim.Duration
+	// Seed seeds the simulation; equal seeds reproduce runs exactly.
+	Seed int64
+	// Probes is the number of hardware-timestamped latency probes for
+	// latency-measuring scenarios (0 = no probing).
+	Probes int
+	// Samples is the sample count for distribution measurements
+	// (inter-arrival histograms).
+	Samples int
+	// Steps is the number of sweep points for sweeping scenarios.
+	Steps int
+	// Flows declares the traffic flows; empty means one default flow.
+	Flows []Flow
+	// UseDuT routes traffic through the simulated Open vSwitch
+	// forwarder (generator → DuT → sink) instead of a direct cable.
+	UseDuT bool
+}
+
+// withDefaults fills the zero fields every scenario relies on.
+func (s Spec) withDefaults() Spec {
+	if s.PktSize <= 0 {
+		s.PktSize = 60
+	}
+	if s.Runtime <= 0 {
+		s.Runtime = 50 * sim.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Pattern == "" {
+		s.Pattern = PatternLineRate
+	}
+	if s.Burst <= 0 {
+		s.Burst = 16
+	}
+	return s
+}
+
+// DefaultFlow is the flow used when a Spec declares none: the plain
+// UDP stream of the paper's Listing 2.
+func DefaultFlow() Flow {
+	return Flow{
+		Name:       "flow0",
+		L4:         "udp",
+		SrcIP:      proto.MustIPv4("10.0.0.1"),
+		SrcIPCount: 256,
+		DstIP:      proto.MustIPv4("10.1.0.1"),
+		SrcPort:    1234,
+		DstPort:    5678,
+	}
+}
+
+// EffectiveFlows returns the spec's flows, defaulting to the single
+// canonical flow.
+func (s Spec) EffectiveFlows() []Flow {
+	if len(s.Flows) > 0 {
+		return s.Flows
+	}
+	return []Flow{DefaultFlow()}
+}
+
+// Scenario is one runnable traffic scenario. Implementations register
+// themselves with Register and receive a fully built Env in Run.
+type Scenario interface {
+	// Name is the registry key (what `moongen <name>` selects).
+	Name() string
+	// Describe is the one-line help text for `moongen list`.
+	Describe() string
+	// DefaultSpec returns the scenario's canonical configuration.
+	DefaultSpec() Spec
+	// Run executes the scenario to completion and returns its report.
+	Run(env *Env) (*Report, error)
+}
+
+// Row is one scenario-specific result line (a metric with a unit).
+type Row struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// FlowReport is the per-flow slice of a report.
+type FlowReport struct {
+	Name      string
+	TxPackets uint64
+	RxPackets uint64
+	// Latency holds the flow's probe histogram when measured.
+	Latency *stats.Histogram
+}
+
+// Report is a scenario's result: the NIC-counter baseline every
+// scenario shares plus scenario-specific rows, per-flow slices and an
+// optional latency histogram.
+type Report struct {
+	Scenario string
+	Window   sim.Duration
+
+	TxPackets   uint64
+	TxBytes     uint64
+	RxPackets   uint64
+	RxBytes     uint64
+	RxCRCErrors uint64
+	RxMissed    uint64
+
+	// RxMpps and RxGbpsWire are receive rates over the window; the
+	// wire rate includes FCS, preamble, SFD and IFG.
+	RxMpps     float64
+	RxGbpsWire float64
+
+	// Latency is the probe histogram when the scenario measures it.
+	Latency    *stats.Histogram
+	LostProbes uint64
+
+	Flows []FlowReport
+	Rows  []Row
+	Notes []string
+}
+
+// AddRow appends a scenario-specific metric.
+func (r *Report) AddRow(label string, value float64, unit string) {
+	r.Rows = append(r.Rows, Row{Label: label, Value: value, Unit: unit})
+}
+
+// Print renders the report.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "scenario=%s runtime=%.1fms\n", r.Scenario, r.Window.Seconds()*1e3)
+	if r.Window > 0 {
+		fmt.Fprintf(w, "  rx %.3f Mpps (%.2f Gbit/s wire), %d packets, crc-dropped %d, missed %d\n",
+			r.RxMpps, r.RxGbpsWire, r.RxPackets, r.RxCRCErrors, r.RxMissed)
+	}
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		q1, q2, q3 := r.Latency.Quartiles()
+		fmt.Fprintf(w, "  latency over %d probes (lost %d): min %.1f ns, quartiles %.1f / %.1f / %.1f ns, max %.1f ns\n",
+			r.Latency.Count(), r.LostProbes,
+			r.Latency.Min().Nanoseconds(),
+			q1.Nanoseconds(), q2.Nanoseconds(), q3.Nanoseconds(),
+			r.Latency.Max().Nanoseconds())
+	}
+	for _, f := range r.Flows {
+		fmt.Fprintf(w, "  flow %-8s tx %d rx %d", f.Name, f.TxPackets, f.RxPackets)
+		if f.Latency != nil && f.Latency.Count() > 0 {
+			q1, q2, q3 := f.Latency.Quartiles()
+			fmt.Fprintf(w, "  latency quartiles %.1f / %.1f / %.1f µs (%d probes)",
+				q1.Microseconds(), q2.Microseconds(), q3.Microseconds(), f.Latency.Count())
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-34s %12.4g %s\n", row.Label, row.Value, row.Unit)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}

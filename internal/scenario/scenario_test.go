@@ -1,0 +1,138 @@
+package scenario_test
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+
+	// Registers the experiment-backed scenarios so the registry tests
+	// cover everything `moongen list` shows.
+	_ "repro/internal/experiments"
+)
+
+// testSpec shrinks a scenario's default spec to test scale without
+// changing its character.
+func testSpec(sc scenario.Scenario) scenario.Spec {
+	spec := sc.DefaultSpec()
+	spec.Seed = 7
+	spec.Runtime = 2 * sim.Millisecond
+	if spec.Steps > 1 {
+		spec.Runtime = sim.Duration(spec.Steps) * sim.Millisecond
+	}
+	if spec.Probes > 40 {
+		spec.Probes = 40
+	}
+	if spec.Samples > 2000 || spec.Samples == 0 {
+		spec.Samples = 2000
+	}
+	return spec
+}
+
+// fingerprint reduces a report to the deterministic counters the
+// determinism test compares across runs.
+func fingerprint(r *scenario.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx=%d/%d rx=%d/%d crc=%d missed=%d",
+		r.TxPackets, r.TxBytes, r.RxPackets, r.RxBytes, r.RxCRCErrors, r.RxMissed)
+	if r.Latency != nil {
+		q1, q2, q3 := r.Latency.Quartiles()
+		fmt.Fprintf(&b, " lat=%d/%v/%v/%v lost=%d", r.Latency.Count(), q1, q2, q3, r.LostProbes)
+	}
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, " flow[%s]=%d/%d", f.Name, f.TxPackets, f.RxPackets)
+		if f.Latency != nil {
+			fmt.Fprintf(&b, "/%d", f.Latency.Count())
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, " %s=%g%s", row.Label, row.Value, row.Unit)
+	}
+	return b.String()
+}
+
+// TestRegistryEnumeration checks that the registry holds the full
+// scenario set — the five ported cmd/moongen scenarios, the three new
+// ones, and the experiment-backed wrappers — and that the `moongen
+// list` body mentions every one.
+func TestRegistryEnumeration(t *testing.T) {
+	names := scenario.Names()
+	if len(names) < 8 {
+		t.Fatalf("registry has %d scenarios (%v), want >= 8", len(names), names)
+	}
+	for _, want := range []string{
+		"flood", "cbr", "poisson", "bursts", "latency", // ported
+		"imix", "qos", "reflect", // new in this refactor
+		"interarrival-moongen", "interarrival-pktgen", "interarrival-zsend", "timestamps", // experiment-backed
+	} {
+		if _, ok := scenario.Get(want); !ok {
+			t.Errorf("scenario %q not registered (have %v)", want, names)
+		}
+	}
+	var list strings.Builder
+	scenario.WriteList(&list)
+	for _, n := range names {
+		if !strings.Contains(list.String(), n) {
+			t.Errorf("list output does not mention %q:\n%s", n, list.String())
+		}
+	}
+}
+
+// TestScenariosDeterministic runs every registered scenario twice with
+// the same seed and requires identical packet/byte counts, per-flow
+// slices and result rows — the reproducibility contract of the
+// simulated testbed.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, _ := scenario.Get(name)
+			spec := testSpec(sc)
+			first, err := scenario.Execute(name, spec, io.Discard)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			second, err := scenario.Execute(name, spec, io.Discard)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			f1, f2 := fingerprint(first), fingerprint(second)
+			if f1 != f2 {
+				t.Errorf("non-deterministic for seed %d:\n run1: %s\n run2: %s", spec.Seed, f1, f2)
+			}
+			if first.TxPackets == 0 && first.RxPackets == 0 && len(first.Rows) == 0 {
+				t.Errorf("report is empty: %s", f1)
+			}
+		})
+	}
+}
+
+// TestExecuteUnknown checks the error path the CLI relies on.
+func TestExecuteUnknown(t *testing.T) {
+	if _, err := scenario.Execute("no-such-scenario", scenario.Spec{}, io.Discard); err == nil {
+		t.Fatal("Execute of unknown scenario did not error")
+	}
+}
+
+// TestDefaultSpecsRunnable checks that every DefaultSpec is internally
+// consistent (patterns needing rates declare one, flows are well
+// formed) by validating the spec the scenario itself advertises.
+func TestDefaultSpecsRunnable(t *testing.T) {
+	for _, name := range scenario.Names() {
+		sc, _ := scenario.Get(name)
+		spec := sc.DefaultSpec()
+		switch spec.Pattern {
+		case scenario.PatternCBR, scenario.PatternPoisson, scenario.PatternBursts:
+			hasRate := spec.RateMpps > 0
+			for _, f := range spec.Flows {
+				hasRate = hasRate || f.RateMpps > 0
+			}
+			if !hasRate {
+				t.Errorf("%s: pattern %s with no rate anywhere", name, spec.Pattern)
+			}
+		}
+	}
+}

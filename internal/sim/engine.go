@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -14,24 +13,63 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is an index-based binary min-heap over a value slice. It
+// replaces container/heap: Push/Pop go through no interface{} boxing,
+// so scheduling an event allocates nothing beyond the occasional slice
+// growth (the fn closure is the caller's).
+type eventHeap struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// less orders by time, then schedule sequence.
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].at != h.ev[j].at {
+		return h.ev[i].at < h.ev[j].at
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+// push inserts e and restores the heap invariant bottom-up.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
+	n := len(h.ev) - 1
+	top := h.ev[0]
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // release the closure for GC
+	h.ev = h.ev[:n]
+	// Sift the moved element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event scheduler. All simulated
@@ -73,7 +111,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleAfter runs fn d after the current time.
@@ -103,10 +141,10 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the earliest pending event. It reports false when no events
 // remain.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	if e.events.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
@@ -119,8 +157,8 @@ func (e *Engine) Step() bool {
 // until. It returns the number of events fired.
 func (e *Engine) Run(until Time) int {
 	n := 0
-	for e.events.Len() > 0 {
-		if e.events[0].at > until {
+	for e.events.len() > 0 {
+		if e.events.ev[0].at > until {
 			break
 		}
 		e.Step()
@@ -137,7 +175,7 @@ func (e *Engine) Run(until Time) int {
 func (e *Engine) RunAll() int { return e.Run(Never) }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return e.events.len() }
 
 // Procs returns the number of live processes.
 func (e *Engine) Procs() int { return e.procs }

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// BenchmarkEngineSchedule measures the schedule/fire hot path of the
+// index-based event heap. Compare against
+// BenchmarkEngineScheduleContainerHeap, the pre-refactor container/heap
+// implementation: the slice-of-values heap schedules with zero
+// per-event boxing allocations (the closure itself is hoisted out of
+// the loop), where container/heap paid one *event allocation plus an
+// interface{} box per Push.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(e.now.Add(Duration(j%7)), fn)
+		}
+		for e.Step() {
+		}
+	}
+}
+
+// --- container/heap baseline (the replaced implementation) -----------
+
+type boxedEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type boxedHeap []*boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(*boxedEvent)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func BenchmarkEngineScheduleContainerHeap(b *testing.B) {
+	var h boxedHeap
+	var seq uint64
+	var now Time
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			seq++
+			heap.Push(&h, &boxedEvent{at: now.Add(Duration(j % 7)), seq: seq, fn: fn})
+		}
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(*boxedEvent)
+			now = ev.at
+			ev.fn()
+		}
+	}
+}
