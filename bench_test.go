@@ -60,6 +60,21 @@ func BenchmarkFig4Scaling120G(b *testing.B) {
 	}
 }
 
+// BenchmarkMulticoreScaling runs the Figure-4 table on the sharded
+// multicore subsystem: real goroutines, one engine and port per core.
+// The metrics are the headline scaling points; ns/op is the wall cost
+// of simulating the whole 2x12-point table, which is also the
+// subsystem's parallel-execution benchmark.
+func BenchmarkMulticoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunMulticoreScaling(benchScale, 14)
+		b.ReportMetric(r.Mpps[0], "1core-Mpps")
+		b.ReportMetric(r.Mpps[3], "4core-Mpps")
+		b.ReportMetric(r.Mpps[11], "12core-Mpps") // paper: 178.5
+		b.ReportMetric(r.PerCoreMpps, "percore-Mpps")
+	}
+}
+
 func BenchmarkCostEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunCostEstimate(benchScale, 5)

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed `go test -bench` line: the standard ns/op
+// and allocation columns plus every custom b.ReportMetric metric (the
+// figure benchmarks report their headline numbers that way).
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchBaseline is the committed BENCH_*.json document.
+type BenchBaseline struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Command    string        `json:"command"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchArgs is the fixed benchmark invocation: one iteration per
+// benchmark keeps the baseline quick while the figure benchmarks still
+// report their deterministic headline metrics.
+var benchArgs = []string{"test", "-run", "NONE", "-bench", ".", "-benchmem", "-benchtime", "1x", "."}
+
+// runGoBench runs the top-level benchmarks and writes the parsed
+// baseline to path.
+func runGoBench(path string) error {
+	cmd := exec.Command("go", benchArgs...)
+	// The benchmarks live in the module root's bench_test.go; resolve
+	// it so -gobench works from any working directory.
+	if root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output(); err == nil {
+		if dir := strings.TrimSpace(string(root)); dir != "" {
+			cmd.Dir = dir
+		}
+	}
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("benchtab: go %s: %w", strings.Join(benchArgs, " "), err)
+	}
+	results, err := parseGoBench(bytes.NewReader(out))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchtab: no benchmark lines in go test output")
+	}
+	doc := BenchBaseline{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Command:    "go " + strings.Join(benchArgs, " "),
+		Benchmarks: results,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+	return nil
+}
+
+// parseGoBench extracts benchmark lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkName-8  1  12345 ns/op  99 B/op  4 allocs/op  17.2 some-metric
+func parseGoBench(r *bytes.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... --- SKIP"
+		}
+		res := BenchResult{
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// The remainder alternates "value unit".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchtab: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|freq-sweep|fig2|fig3|fig4|table1|table2|cost-estimate|
-//	          size-sweep|table3|clocksync|drift|fig7|fig8|fig10|fig11]
+//	benchtab [-exp all|freq-sweep|fig2|fig3|fig4|multicore|table1|table2|
+//	          cost-estimate|size-sweep|table3|clocksync|drift|fig7|fig8|
+//	          fig10|fig11]
 //	         [-full] [-seed 1]
+//	benchtab -gobench BENCH_baseline.json
 //
 // -full switches from the fast test scale to sample counts approaching
 // the paper's (slower).
+//
+// -gobench records a performance baseline instead: it runs the
+// repository's top-level benchmarks (bench_test.go) via `go test
+// -bench` and writes the parsed results — ns/op, allocations and every
+// custom metric — to the given JSON file, which is committed as
+// BENCH_*.json to track the perf trajectory across PRs.
 package main
 
 import (
@@ -23,11 +31,20 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
-		full = flag.Bool("full", false, "run at full scale (paper-like sample counts)")
-		seed = flag.Int64("seed", 1, "simulation seed")
+		exp     = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
+		full    = flag.Bool("full", false, "run at full scale (paper-like sample counts)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		gobench = flag.String("gobench", "", "run the repo benchmarks and write a JSON baseline to this file")
 	)
 	flag.Parse()
+
+	if *gobench != "" {
+		if err := runGoBench(*gobench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.ScaleTest
 	if *full {
@@ -42,6 +59,7 @@ func main() {
 		{"fig2", func() { experiments.RunFig2(scale, *seed).Print(os.Stdout) }},
 		{"fig3", func() { experiments.RunFig3(scale, *seed).Print(os.Stdout) }},
 		{"fig4", func() { experiments.RunFig4(scale, *seed).Print(os.Stdout) }},
+		{"multicore", func() { experiments.RunMulticoreScaling(scale, *seed).Print(os.Stdout) }},
 		{"table1", func() { experiments.RunTable1().Print(os.Stdout) }},
 		{"table2", func() { experiments.RunTable2().Print(os.Stdout) }},
 		{"cost-estimate", func() { experiments.RunCostEstimate(scale, *seed).Print(os.Stdout) }},

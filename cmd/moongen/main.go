@@ -12,12 +12,15 @@
 //
 // Flags override the scenario's default spec: -rate (Mpps), -size
 // (bytes, without FCS), -runtime (ms), -seed, -pattern, -burst,
-// -probes, -samples, -steps, -dut.
+// -probes, -samples, -steps, -dut, -cores (> 1 shards the scenario
+// across that many engines, one goroutine per modeled core, and
+// merges the per-shard reports).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/scenario"
@@ -35,8 +38,7 @@ func main() {
 	}
 	name := os.Args[1]
 	if name == "list" || name == "-list" || name == "--list" {
-		fmt.Println("scenarios:")
-		scenario.WriteList(os.Stdout)
+		runList(os.Stdout)
 		return
 	}
 	sc, ok := scenario.Get(name)
@@ -59,6 +61,7 @@ func main() {
 		samples  = fs.Int("samples", spec.Samples, "samples for distribution measurements")
 		steps    = fs.Int("steps", spec.Steps, "sweep steps for sweeping scenarios")
 		useDuT   = fs.Bool("dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
+		cores    = fs.Int("cores", spec.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
 	)
 	_ = fs.Parse(os.Args[2:])
 
@@ -74,6 +77,7 @@ func main() {
 	spec.Samples = *samples
 	spec.Steps = *steps
 	spec.UseDuT = *useDuT
+	spec.Cores = *cores
 
 	rep, err := scenario.Execute(name, spec, os.Stdout)
 	if err != nil {
@@ -83,9 +87,16 @@ func main() {
 	rep.Print(os.Stdout)
 }
 
+// runList prints the sorted scenario listing with one-line
+// descriptions — the body of `moongen list`.
+func runList(w io.Writer) {
+	fmt.Fprintln(w, "scenarios:")
+	scenario.WriteList(w)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] ...")
+	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] [-cores N] ...")
 	fmt.Fprintln(os.Stderr, "       moongen list")
-	fmt.Fprintln(os.Stderr, "\nscenarios:")
-	scenario.WriteList(os.Stderr)
+	fmt.Fprintln(os.Stderr)
+	runList(os.Stderr)
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestListDeterministicSortedDescribed pins the `moongen list` output:
+// byte-identical across calls, scenarios in sorted order, and a
+// non-empty one-line description on every row.
+func TestListDeterministicSortedDescribed(t *testing.T) {
+	var first, second strings.Builder
+	runList(&first)
+	runList(&second)
+	if first.String() != second.String() {
+		t.Fatalf("list output not deterministic:\n%q\nvs\n%q", first.String(), second.String())
+	}
+	lines := strings.Split(strings.TrimRight(first.String(), "\n"), "\n")
+	if lines[0] != "scenarios:" {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	rows := lines[1:]
+	if len(rows) < 8 {
+		t.Fatalf("only %d scenarios listed", len(rows))
+	}
+	var names []string
+	for i, row := range rows {
+		fields := strings.Fields(row)
+		if len(fields) < 2 {
+			t.Fatalf("row %d has no description: %q", i, row)
+		}
+		names = append(names, fields[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("scenarios not sorted: %v", names)
+	}
+}

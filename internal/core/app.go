@@ -19,6 +19,12 @@ import (
 type App struct {
 	Eng   *sim.Engine
 	tasks []*sim.Proc
+
+	// Shard identifies the multicore shard this app models when it is
+	// one engine of a sharded group (set by internal/multicore); 0 for
+	// ordinary single-engine apps. Tasks can read it through
+	// Task.Shard to tell which modeled core they run on.
+	Shard int
 }
 
 // NewApp creates an App with a deterministic seed.
@@ -33,6 +39,10 @@ type Task struct {
 	*sim.Proc
 	app *App
 }
+
+// Shard returns the modeled core this task runs on (0 unless the app
+// is a multicore shard).
+func (t *Task) Shard() int { return t.app.Shard }
 
 // LaunchTask starts fn as a new task — mg.launchLua("slave", args...)
 // with the args captured by the closure.

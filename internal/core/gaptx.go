@@ -5,6 +5,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/proto"
 	"repro/internal/rate"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -139,11 +140,19 @@ type HWRateTx struct {
 	PktSize int
 	Fill    func(m *mempool.Mbuf, i uint64)
 
+	// Delay postpones the first send, phase-shifting the shaper grid.
+	// Multicore sharding staggers k queues at rate/k by i/rate each so
+	// their emissions interleave onto the single-queue grid exactly.
+	Delay sim.Duration
+
 	Sent uint64
 }
 
 // Run transmits until the run ends. It must run as its own task.
 func (h *HWRateTx) Run(t *Task) {
+	if h.Delay > 0 {
+		t.Sleep(h.Delay)
+	}
 	h.Queue.SetRatePPS(h.PPS)
 	pool := mempool.New(mempool.Config{Count: 4096})
 	var i uint64

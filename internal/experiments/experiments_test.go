@@ -3,6 +3,8 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"repro/internal/cpu"
 )
 
 // The experiment tests assert the paper's qualitative results — who
@@ -307,5 +309,74 @@ func TestFig11Shape(t *testing.T) {
 	if r.Poisson[i01][1] > 3*r.CBR[i01][1] {
 		t.Errorf("at 0.1 Mpps: Poisson %.1f vs CBR %.1f µs diverge too much",
 			r.Poisson[i01][1], r.CBR[i01][1])
+	}
+}
+
+// TestMulticoreScaling pins the Figure-4 scaling table produced by the
+// sharded subsystem at a fixed seed: linear scaling in both regimes,
+// the wire-rate ceiling at 2 GHz, the paper's 178.5 Mpps headline at
+// 12 cores, and agreement with the cycle-cost prediction.
+func TestMulticoreScaling(t *testing.T) {
+	r := RunMulticoreScaling(ScaleTest, 14)
+	if len(r.Mpps) != 12 {
+		t.Fatalf("table has %d rows", len(r.Mpps))
+	}
+	// 2 GHz: every core pegs its port at the wire-rate ceiling.
+	if math.Abs(r.Mpps[0]-r.LineRateMpps)/r.LineRateMpps > 0.005 {
+		t.Errorf("1 core at 2 GHz = %.2f Mpps, want wire rate %.2f", r.Mpps[0], r.LineRateMpps)
+	}
+	if math.Abs(r.Mpps[11]-178.5) > 1.5 {
+		t.Errorf("12 cores = %.1f Mpps, paper: 178.5", r.Mpps[11])
+	}
+	// 1.2 GHz: CPU-bound below the ceiling (100.8 cycles/pkt ⇒ ~11.9
+	// Mpps/core).
+	if r.MppsLow[0] >= r.LineRateMpps || math.Abs(r.MppsLow[0]-11.9) > 0.3 {
+		t.Errorf("1 core at 1.2 GHz = %.2f Mpps, want ~11.9 (below ceiling)", r.MppsLow[0])
+	}
+	// Both series scale ~linearly, and match the model prediction.
+	for i := range r.Mpps {
+		wantHi, wantLo := float64(i+1)*r.Mpps[0], float64(i+1)*r.MppsLow[0]
+		if math.Abs(r.Mpps[i]-wantHi)/wantHi > 0.01 {
+			t.Errorf("%d cores at 2 GHz: %.2f Mpps, want ~%.2f (linear)", i+1, r.Mpps[i], wantHi)
+		}
+		if math.Abs(r.MppsLow[i]-wantLo)/wantLo > 0.01 {
+			t.Errorf("%d cores at 1.2 GHz: %.2f Mpps, want ~%.2f (linear)", i+1, r.MppsLow[i], wantLo)
+		}
+		if math.Abs(r.Mpps[i]-r.Predicted[i])/r.Predicted[i] > 0.01 {
+			t.Errorf("%d cores: measured %.2f vs predicted %.2f Mpps", i+1, r.Mpps[i], r.Predicted[i])
+		}
+		if math.Abs(r.MppsLow[i]-r.PredictedLow[i])/r.PredictedLow[i] > 0.01 {
+			t.Errorf("%d cores low: measured %.2f vs predicted %.2f Mpps", i+1, r.MppsLow[i], r.PredictedLow[i])
+		}
+	}
+	// The merged per-core counters must agree with the ceiling.
+	if math.Abs(r.PerCoreMpps-r.LineRateMpps) > 0.3 {
+		t.Errorf("per-core merged rate = %.2f ± %.2f, want ~%.2f", r.PerCoreMpps, r.PerCoreStd, r.LineRateMpps)
+	}
+}
+
+// TestMulticoreScalingDeterministic: the sharded experiment is exactly
+// reproducible although its shards race on real goroutines — this is
+// the fixed-seed pin for the whole table.
+func TestMulticoreScalingDeterministic(t *testing.T) {
+	if testing.Short() {
+		// One 4-core point instead of two full tables.
+		am, _ := runMulticorePoint(ScaleTest, 14, 4, cpu.SimpleUDPWorkload, 2*cpu.GHz)
+		bm, _ := runMulticorePoint(ScaleTest, 14, 4, cpu.SimpleUDPWorkload, 2*cpu.GHz)
+		if am != bm {
+			t.Fatalf("4-core point differs across runs: %v vs %v", am, bm)
+		}
+		return
+	}
+	a := RunMulticoreScaling(ScaleTest, 14)
+	b := RunMulticoreScaling(ScaleTest, 14)
+	for i := range a.Mpps {
+		if a.Mpps[i] != b.Mpps[i] || a.MppsLow[i] != b.MppsLow[i] {
+			t.Errorf("%d cores: runs differ: %v/%v vs %v/%v",
+				i+1, a.Mpps[i], a.MppsLow[i], b.Mpps[i], b.MppsLow[i])
+		}
+	}
+	if a.PerCoreMpps != b.PerCoreMpps || a.PerCoreStd != b.PerCoreStd {
+		t.Errorf("merged counter stats differ across runs")
 	}
 }

@@ -38,6 +38,13 @@ func (s interArrivalScenario) DefaultSpec() scenario.Spec {
 	return scenario.Spec{RateMpps: 0.5, Samples: 20000}
 }
 
+// SingleCoreOnly implements scenario.SingleCoreOnly: the measurement
+// characterizes one generator on one timestamper; sharding it would
+// sum distribution rows into nonsense.
+func (interArrivalScenario) SingleCoreOnly() string {
+	return "the inter-arrival measurement characterizes a single generator/timestamper pair"
+}
+
 func (s interArrivalScenario) Run(env *scenario.Env) (*scenario.Report, error) {
 	spec := env.Spec
 	pps := spec.RateMpps * 1e6
@@ -75,6 +82,13 @@ func (timestampsScenario) Describe() string {
 
 func (timestampsScenario) DefaultSpec() scenario.Spec {
 	return scenario.Spec{Probes: 500}
+}
+
+// SingleCoreOnly implements scenario.SingleCoreOnly: the calibration
+// sweeps cable lengths internally; summing fitted constants across
+// shards would be meaningless.
+func (timestampsScenario) SingleCoreOnly() string {
+	return "the calibration sweep fits per-cable constants that must not be summed"
 }
 
 func (timestampsScenario) Run(env *scenario.Env) (*scenario.Report, error) {

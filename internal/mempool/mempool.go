@@ -39,9 +39,10 @@ type Mbuf struct {
 	// such as the 82580).
 	RxMeta RxMeta
 
-	pool  *Pool
-	index int  // position in the pool's backing store
-	inUse bool // owned by the application or NIC (not in the free list)
+	pool   *Pool
+	index  int  // position in the pool's backing store
+	inUse  bool // owned by the application or NIC (not in the free list)
+	cached bool // parked in a per-core Cache (in-use from the pool's view)
 }
 
 // TxMeta is per-packet transmit metadata: offload requests and flags
@@ -223,15 +224,32 @@ func (p *Pool) AllocBatch(out []*Mbuf, length int) int {
 func (p *Pool) put(m *Mbuf) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.putLocked(m)
+}
+
+func (p *Pool) putLocked(m *Mbuf) {
 	if m.pool != p {
 		panic("mempool: buffer returned to wrong pool")
 	}
 	if !m.inUse {
 		panic(fmt.Sprintf("mempool: double free of buffer %d", m.index))
 	}
+	if m.cached {
+		panic(fmt.Sprintf("mempool: buffer %d freed while parked in a cache", m.index))
+	}
 	m.inUse = false
 	p.free = append(p.free, m.index)
 	p.frees++
+}
+
+// FreeBatch returns a batch of this pool's buffers under one lock
+// acquisition — the spill path of the per-core Cache.
+func (p *Pool) FreeBatch(bufs []*Mbuf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range bufs {
+		p.putLocked(m)
+	}
 }
 
 // BufArray is MoonGen's bufArray: a reusable batch of packet buffers

@@ -10,6 +10,10 @@ import (
 	"repro/internal/wire"
 )
 
+// softCBR carries the software-paced CBR task's transmit count across
+// the launch/finish boundary.
+type softCBR struct{ sent uint64 }
+
 // loadScenario is the family of single-flow load generators that made
 // up the old cmd/moongen switch: the pattern (line rate, hardware CBR,
 // Poisson or bursts via CRC-gap pacing) and optional latency probing
@@ -69,10 +73,51 @@ func LaunchLoad(env *Env) (finish func(*Report), err error) {
 		if pps <= 0 {
 			return nil, fmt.Errorf("pattern %s needs a rate (got %v)", spec.Pattern, spec)
 		}
-		h := &core.HWRateTx{Queue: q, PPS: pps, PktSize: size, Fill: fill}
+		h := &core.HWRateTx{Queue: q, PPS: pps, PktSize: size, Fill: fill, Delay: spec.TxPhase}
 		env.App().LaunchTask("cbr", h.Run)
 		finish = func(rep *Report) {
 			rep.Flows = append(rep.Flows, FlowReport{Name: flow.Name, TxPackets: h.Sent})
+		}
+	case PatternSoftCBR:
+		if pps <= 0 {
+			return nil, fmt.Errorf("pattern %s needs a rate (got %v)", spec.Pattern, spec)
+		}
+		interval := spec.TxInterval
+		if interval <= 0 {
+			interval = sim.FromSeconds(1 / pps)
+		}
+		pool := env.NewFlowPool(flow, size, 4096)
+		soft := &softCBR{}
+		phase := spec.TxPhase
+		env.App().LaunchTask("softcbr", func(t *core.Task) {
+			// Packets leave on an exact grid: first at start+TxPhase,
+			// then every interval. k shards at rate/k with phases
+			// 0..k-1 times the aggregate interval interleave onto the
+			// aggregate grid exactly, so merged counts are invariant
+			// in the shard count.
+			next := t.Now().Add(phase)
+			var i uint64
+			for t.Running() {
+				t.SleepUntil(next)
+				if !t.Running() {
+					break
+				}
+				next = next.Add(interval)
+				m := pool.Alloc(size)
+				if m == nil {
+					continue // overload: drop the slot
+				}
+				fill(m, i)
+				if !q.SendOne(m) {
+					m.Free()
+					continue
+				}
+				soft.sent++
+				i++
+			}
+		})
+		finish = func(rep *Report) {
+			rep.Flows = append(rep.Flows, FlowReport{Name: flow.Name, TxPackets: soft.sent})
 		}
 	case PatternPoisson, PatternBursts:
 		if pps <= 0 {
@@ -116,6 +161,11 @@ func init() {
 		name: "bursts",
 		desc: "bursty traffic with back-to-back groups (l2-bursts.lua)",
 		spec: Spec{Pattern: PatternBursts, RateMpps: 1, Burst: 16},
+	})
+	Register(&loadScenario{
+		name: "softcbr",
+		desc: "software-paced exact CBR on a deterministic grid (multicore reference)",
+		spec: Spec{Pattern: PatternSoftCBR, RateMpps: 1},
 	})
 	Register(&loadScenario{
 		name: "latency",

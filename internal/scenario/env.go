@@ -26,6 +26,7 @@ type Env struct {
 	Out io.Writer
 
 	app   *core.App
+	built bool
 	tx    *core.Device
 	rx    *core.Device
 	dutIn *core.Device
@@ -43,13 +44,26 @@ func NewEnv(spec Spec, out io.Writer) *Env {
 	return &Env{Spec: spec.withDefaults(), Out: out}
 }
 
+// Adopt makes the env build its testbed on a pre-existing app — a
+// multicore shard's engine — instead of creating its own. It must be
+// called before the testbed is first used.
+func (e *Env) Adopt(app *core.App) {
+	if e.built {
+		panic("scenario: Adopt after the testbed was built")
+	}
+	e.app = app
+}
+
 // build constructs the testbed once: engine, devices, duplex links,
 // optional DuT forwarder, and the probe timestamper path.
 func (e *Env) build() {
-	if e.app != nil {
+	if e.built {
 		return
 	}
-	e.app = core.NewApp(e.Spec.Seed)
+	e.built = true
+	if e.app == nil {
+		e.app = core.NewApp(e.Spec.Seed)
+	}
 	// One TX queue per flow plus one for timestamped probes.
 	txQueues := len(e.Spec.EffectiveFlows()) + 1
 	if txQueues < 2 {

@@ -20,6 +20,13 @@ func (imixScenario) Describe() string {
 	return "IMIX size mix swept across rate steps, per-size and per-step breakdown"
 }
 
+// SingleCoreOnly implements the sharding guard: the per-step targets
+// and the average-frame-size row are ratios that must not be summed
+// across shards.
+func (imixScenario) SingleCoreOnly() string {
+	return "the rate-step sweep reports per-step ratios that must not be summed"
+}
+
 func (imixScenario) DefaultSpec() Spec {
 	return Spec{
 		Pattern:  PatternCBR,

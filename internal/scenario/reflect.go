@@ -29,6 +29,12 @@ func (reflectScenario) Describe() string {
 	return "ICMP echo + ARP responder: paced requests, in-kind replies, RTT histogram"
 }
 
+// SingleCoreOnly implements the sharding guard: the reply-rate row is
+// a percentage that must not be summed across shards.
+func (reflectScenario) SingleCoreOnly() string {
+	return "the echo/ARP exchange reports reply-rate percentages that must not be summed"
+}
+
 func (reflectScenario) DefaultSpec() Spec {
 	return Spec{
 		RateMpps: 0.05,

@@ -49,11 +49,20 @@ func Names() []string {
 }
 
 // WriteList prints one "name  description" line per registered
-// scenario — the body of `moongen list`.
+// scenario, sorted by name with the description column aligned past
+// the longest name — the body of `moongen list`. The output is
+// deterministic: same registry, same bytes.
 func WriteList(w io.Writer) {
-	for _, n := range Names() {
+	names := Names()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
 		s, _ := Get(n)
-		fmt.Fprintf(w, "  %-14s %s\n", n, s.Describe())
+		fmt.Fprintf(w, "  %-*s  %s\n", width, n, s.Describe())
 	}
 }
 
@@ -62,14 +71,26 @@ func WriteList(w io.Writer) {
 // 50 ms runtime, seed 1); pass sc.DefaultSpec() for the scenario's own
 // canonical configuration. Output that scenarios stream while running
 // (per-window counters) goes to out; the returned Report is the final
-// result.
+// result. With Spec.Cores > 1 the scenario runs sharded — one engine
+// per modeled core on its own goroutine — and the report is the merge
+// of the per-shard reports (see Spec.Cores).
 func Execute(name string, spec Spec, out io.Writer) (*Report, error) {
 	sc, ok := Get(name)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 	}
-	env := NewEnv(spec, out)
-	rep, err := sc.Run(env)
+	var (
+		rep *Report
+		err error
+	)
+	if spec.Cores > 1 {
+		if sco, ok := sc.(SingleCoreOnly); ok {
+			return nil, fmt.Errorf("scenario %s: cannot run with cores=%d: %s", name, spec.Cores, sco.SingleCoreOnly())
+		}
+		rep, err = executeSharded(sc, spec, out)
+	} else {
+		rep, err = sc.Run(NewEnv(spec, out))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}

@@ -26,12 +26,16 @@ type Pattern string
 
 // The canonical patterns. LineRate floods the queue unshaped; CBR uses
 // the hardware shaper (§7.2); Poisson and Bursts use the paper's
-// CRC-gap software rate control (§8).
+// CRC-gap software rate control (§8); SoftCBR pushes packets on an
+// exact software-timed grid with no modeled hardware imprecision — the
+// fully deterministic reference stream the multicore invariance checks
+// are stated against.
 const (
 	PatternLineRate Pattern = "linerate"
 	PatternCBR      Pattern = "cbr"
 	PatternPoisson  Pattern = "poisson"
 	PatternBursts   Pattern = "bursts"
+	PatternSoftCBR  Pattern = "softcbr"
 )
 
 // Flow describes one traffic flow declaratively: L3/L4 protocol,
@@ -99,6 +103,26 @@ type Spec struct {
 	Steps int
 	// Flows declares the traffic flows; empty means one default flow.
 	Flows []Flow
+	// Cores is the number of modeled cores. Above 1 the scenario runs
+	// as that many independent deterministic engine shards on real
+	// goroutines — one testbed (port pair, mempools, tasks) per core,
+	// the paper's §5 execution model — and the per-shard reports are
+	// merged. Rate budgets (RateMpps, per-flow rates) and probe/sample
+	// budgets are split across shards, so for deterministic patterns
+	// the merged transmit totals are invariant in Cores. Intended for
+	// the load scenarios; additive report rows are summed on merge.
+	Cores int
+	// TxPhase delays the transmit start. ShardSpec sets it so that k
+	// hardware-shaped queues at rate/k interleave onto the exact
+	// emission grid of one queue at the full rate, which is what makes
+	// merged CBR totals invariant in Cores.
+	TxPhase sim.Duration
+	// TxInterval is the explicit software-paced grid tick for the
+	// softcbr pattern; 0 derives it from RateMpps. ShardSpec sets it
+	// to k times the aggregate tick (rounded once to a picosecond), so
+	// shard grids compose to the single-core grid exactly even at
+	// rates whose period is not an integer number of picoseconds.
+	TxInterval sim.Duration
 	// UseDuT routes traffic through the simulated Open vSwitch
 	// forwarder (generator → DuT → sink) instead of a direct cable.
 	UseDuT bool
@@ -120,6 +144,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Burst <= 0 {
 		s.Burst = 16
+	}
+	if s.Cores < 1 {
+		s.Cores = 1
 	}
 	return s
 }
@@ -145,6 +172,15 @@ func (s Spec) EffectiveFlows() []Flow {
 		return s.Flows
 	}
 	return []Flow{DefaultFlow()}
+}
+
+// SingleCoreOnly marks scenarios that must not be sharded with
+// Spec.Cores > 1 — typically wrappers that sweep parameters
+// internally, whose per-step rows would be meaninglessly summed by the
+// report merge. Execute rejects Cores > 1 for them with the returned
+// reason instead of printing silently wrong numbers.
+type SingleCoreOnly interface {
+	SingleCoreOnly() string
 }
 
 // Scenario is one runnable traffic scenario. Implementations register

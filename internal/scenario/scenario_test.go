@@ -125,7 +125,7 @@ func TestDefaultSpecsRunnable(t *testing.T) {
 		sc, _ := scenario.Get(name)
 		spec := sc.DefaultSpec()
 		switch spec.Pattern {
-		case scenario.PatternCBR, scenario.PatternPoisson, scenario.PatternBursts:
+		case scenario.PatternCBR, scenario.PatternSoftCBR, scenario.PatternPoisson, scenario.PatternBursts:
 			hasRate := spec.RateMpps > 0
 			for _, f := range spec.Flows {
 				hasRate = hasRate || f.RateMpps > 0

@@ -6,10 +6,13 @@
 package stats
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -28,6 +31,27 @@ func (o *OnlineStats) Add(x float64) {
 	d := x - o.mean
 	o.mean += d / float64(o.n)
 	o.m2 += d * (x - o.mean)
+}
+
+// Merge folds other into o so that o describes the union of both
+// sample sets exactly — the parallel Welford combination (Chan et al.).
+// Merging shards of a stream in any order yields the same count, mean
+// and variance as accumulating the stream unsharded, up to float
+// rounding. other is not modified.
+func (o *OnlineStats) Merge(other *OnlineStats) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	d := other.mean - o.mean
+	n := n1 + n2
+	o.mean += d * n2 / n
+	o.m2 += other.m2 + d*d*n1*n2/n
+	o.n += other.n
 }
 
 // Count returns the number of samples.
@@ -169,6 +193,35 @@ func (c *Counter) Finalize(now sim.Time) {
 	}
 }
 
+// Merge folds a per-shard counter into c: totals add and the window
+// rate samples of both counters combine into one population, so the
+// merged MppsStats describe the distribution of per-core window rates
+// across all shards. Merge the shards of one run in shard order for a
+// deterministic result; the counters should cover the same simulated
+// span (one measurement window per core, as in the paper's per-core
+// slave counters). other is not modified.
+func (c *Counter) Merge(other *Counter) {
+	if c.TotalPackets == 0 && c.TotalBytes == 0 && c.pktRate.Count() == 0 {
+		// Fresh target: adopt the source's epoch, so AverageMpps on
+		// the merged counter spans the measurement rather than
+		// starting at time zero.
+		c.start = other.start
+		c.windowStart = other.windowStart
+	}
+	c.TotalPackets += other.TotalPackets
+	c.TotalBytes += other.TotalBytes
+	c.winPkts += other.winPkts
+	c.winBytes += other.winBytes
+	c.pktRate.Merge(&other.pktRate)
+	c.byteRate.Merge(&other.byteRate)
+	if other.start < c.start {
+		c.start = other.start
+	}
+	if other.lastTime > c.lastTime {
+		c.lastTime = other.lastTime
+	}
+}
+
 // MppsStats returns the mean and stddev of the per-window packet rate.
 func (c *Counter) MppsStats() (mean, std float64) { return c.pktRate.Mean(), c.pktRate.Std() }
 
@@ -236,6 +289,41 @@ func (h *Histogram) Add(d sim.Duration) {
 	h.bins[int64(d)/int64(h.BinWidth)]++
 	if len(h.samples) < h.maxSamples {
 		h.samples = append(h.samples, d)
+		h.sorted = false
+	}
+}
+
+// Merge folds other into h so that h describes the union of both
+// sample sets. Bin counts, count, sum, sum of squares and min/max
+// combine exactly; raw samples are carried over up to h's sample cap,
+// so percentiles stay exact as long as the merged histogram remains
+// under the cap (above it they degrade to bin precision, as always).
+// Bin widths must match. other is not modified.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.BinWidth != other.BinWidth {
+		panic(fmt.Sprintf("stats: merging histograms with bin widths %v and %v", h.BinWidth, other.BinWidth))
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.sumsq += other.sumsq
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for k, v := range other.bins {
+		h.bins[k] += v
+	}
+	if room := h.maxSamples - len(h.samples); room > 0 {
+		take := other.samples
+		if len(take) > room {
+			take = take[:room]
+		}
+		h.samples = append(h.samples, take...)
 		h.sorted = false
 	}
 }
@@ -390,4 +478,51 @@ func (h *Histogram) WriteCSV(w io.Writer) {
 	for _, b := range h.Bins() {
 		fmt.Fprintf(w, "%.1f,%d,%.6f\n", b.Lo.Nanoseconds(), b.Count, float64(b.Count)/float64(h.count))
 	}
+}
+
+// ParseHistogramCSV reads the WriteCSV format back into a histogram
+// with the given bin width. The result carries bin-resolution data
+// only: counts and bin positions are exact (WriteCSV output round-trips
+// bit-for-bit), while mean/min/max are reconstructed at bin lower
+// edges and percentiles come from bins, not raw samples.
+func ParseHistogramCSV(r io.Reader, binWidth sim.Duration) (*Histogram, error) {
+	h := NewHistogram(binWidth)
+	h.maxSamples = 0 // no raw samples: percentile queries must use bins
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "bin_lo_ns") {
+			continue // header (data rows start with a number)
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("stats: csv line %d: want 3 fields, got %d", line, len(fields))
+		}
+		loNS, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: csv line %d: bin_lo_ns: %w", line, err)
+		}
+		count, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: csv line %d: count: %w", line, err)
+		}
+		lo := sim.FromNanoseconds(loNS)
+		key := int64(lo) / int64(h.BinWidth)
+		h.bins[key] += count
+		h.count += count
+		h.sum += float64(lo) * float64(count)
+		h.sumsq += float64(lo) * float64(lo) * float64(count)
+		if lo < h.min {
+			h.min = lo
+		}
+		if lo > h.max {
+			h.max = lo
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
 }

@@ -234,6 +234,191 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// --- merge semantics: sharded == unsharded ---------------------------
+
+// TestOnlineStatsMergeProperty: splitting a sample stream over k shards
+// and merging equals accumulating it unsharded.
+func TestOnlineStatsMergeProperty(t *testing.T) {
+	f := func(raw []uint32, kRaw uint8) bool {
+		k := int(kRaw)%7 + 1
+		var whole OnlineStats
+		shards := make([]OnlineStats, k)
+		for i, v := range raw {
+			x := float64(v) / 1e3
+			whole.Add(x)
+			shards[i%k].Add(x)
+		}
+		var merged OnlineStats
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if merged.Count() != whole.Count() {
+			return false
+		}
+		if whole.Count() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(whole.Mean())
+		return math.Abs(merged.Mean()-whole.Mean()) < 1e-9*scale &&
+			math.Abs(merged.Variance()-whole.Variance()) < 1e-6*(1+whole.Variance())
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeProperty: a histogram sharded k ways and merged is
+// exactly the unsharded histogram — counts, moments, min/max, bins and
+// percentiles.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		k := int(kRaw)%5 + 1
+		whole := NewHistogram(64 * sim.Nanosecond)
+		shards := make([]*Histogram, k)
+		for i := range shards {
+			shards[i] = NewHistogram(64 * sim.Nanosecond)
+		}
+		for i, v := range raw {
+			d := sim.Duration(v) * sim.Nanosecond
+			whole.Add(d)
+			shards[i%k].Add(d)
+		}
+		merged := NewHistogram(64 * sim.Nanosecond)
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Count() != whole.Count() {
+			return false
+		}
+		if whole.Count() == 0 {
+			return true
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() ||
+			merged.Mean() != whole.Mean() || merged.Std() != whole.Std() {
+			return false
+		}
+		wb, mb := whole.Bins(), merged.Bins()
+		if len(wb) != len(mb) {
+			return false
+		}
+		for i := range wb {
+			if wb[i] != mb[i] {
+				return false
+			}
+		}
+		for p := 10.0; p <= 100; p += 10 {
+			if merged.Percentile(p) != whole.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeBinWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge of mismatched bin widths did not panic")
+		}
+	}()
+	a := NewHistogram(64 * sim.Nanosecond)
+	b := NewHistogram(32 * sim.Nanosecond)
+	b.Add(sim.Microsecond)
+	a.Merge(b)
+}
+
+func TestCounterMerge(t *testing.T) {
+	// Two shards each running 1 Mpps over the same 10 ms span merge
+	// into: 2x the totals, per-window rate population mean still 1
+	// Mpps, and a 2 Mpps aggregate average.
+	mk := func() *Counter {
+		c := NewCounter(CounterConfig{Name: "tx", Window: sim.Millisecond})
+		for ms := 0; ms < 10; ms++ {
+			c.Update(1000, 1000*60, sim.Time(ms)*sim.Time(sim.Millisecond)+sim.Time(500*sim.Microsecond))
+		}
+		c.Finalize(sim.Time(10 * sim.Millisecond))
+		return c
+	}
+	a, b := mk(), mk()
+	a.Merge(b)
+	if a.TotalPackets != 20000 {
+		t.Fatalf("merged total = %d", a.TotalPackets)
+	}
+	mean, std := a.MppsStats()
+	if math.Abs(mean-1.0) > 0.01 || std > 0.02 {
+		t.Fatalf("merged per-window rate = %f ± %f, want 1 ± 0", mean, std)
+	}
+	// The average spans start..last update (9.5 ms): 20000 pkts over
+	// 9.5 ms ≈ 2.105 Mpps — twice the single-shard average.
+	if avg, single := a.AverageMpps(), b.AverageMpps(); math.Abs(avg-2*single) > 0.01 {
+		t.Fatalf("merged aggregate average = %f, want 2x single-shard %f", avg, single)
+	}
+}
+
+// TestCounterMergeFreshTargetAdoptsEpoch: merging into a counter that
+// never saw data must take the source's start time, so AverageMpps
+// spans the measurement and not [0, lastTime].
+func TestCounterMergeFreshTargetAdoptsEpoch(t *testing.T) {
+	src := NewCounter(CounterConfig{Name: "tx", Window: sim.Millisecond, Start: sim.Time(5 * sim.Millisecond)})
+	src.Update(10000, 10000*60, sim.Time(15*sim.Millisecond))
+	src.Finalize(sim.Time(15 * sim.Millisecond))
+	merged := NewCounter(CounterConfig{Name: "merged"})
+	merged.Merge(src)
+	if got, want := merged.AverageMpps(), src.AverageMpps(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged AverageMpps = %f, want source's %f", got, want)
+	}
+}
+
+// TestHistogramCSVRoundTrip: WriteCSV output parses back into a
+// histogram whose WriteCSV output is byte-identical.
+func TestHistogramCSVRoundTrip(t *testing.T) {
+	h := NewHistogram(64 * sim.Nanosecond)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		h.Add(sim.Duration(rng.Intn(100000)) * sim.Nanosecond)
+	}
+	var first bytes.Buffer
+	h.WriteCSV(&first)
+	parsed, err := ParseHistogramCSV(bytes.NewReader(first.Bytes()), h.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count() != h.Count() {
+		t.Fatalf("parsed count = %d, want %d", parsed.Count(), h.Count())
+	}
+	var second bytes.Buffer
+	parsed.WriteCSV(&second)
+	if first.String() != second.String() {
+		t.Fatalf("csv round trip mismatch:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// TestParseHistogramCSVHeaderless: input without the header line must
+// not lose its first data row.
+func TestParseHistogramCSVHeaderless(t *testing.T) {
+	h, err := ParseHistogramCSV(strings.NewReader("64.0,2,0.5\n128.0,2,0.5\n"), 64*sim.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (first row dropped?)", h.Count())
+	}
+}
+
+func TestParseHistogramCSVRejectsGarbage(t *testing.T) {
+	if _, err := ParseHistogramCSV(strings.NewReader("bin_lo_ns,count,probability\nx,y\n"), 64*sim.Nanosecond); err == nil {
+		t.Fatal("want error for malformed row")
+	}
+	if _, err := ParseHistogramCSV(strings.NewReader("bin_lo_ns,count,probability\n64.0,notanumber,0.5\n"), 64*sim.Nanosecond); err == nil {
+		t.Fatal("want error for non-numeric count")
+	}
+}
+
 func TestHistogramStd(t *testing.T) {
 	h := NewHistogram(sim.Nanosecond)
 	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
