@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,9 +41,9 @@ type BenchBaseline struct {
 // report their deterministic headline metrics.
 var benchArgs = []string{"test", "-run", "NONE", "-bench", ".", "-benchmem", "-benchtime", "1x", "."}
 
-// runGoBench runs the top-level benchmarks and writes the parsed
-// baseline to path.
-func runGoBench(path string) error {
+// runBenchResults runs the top-level benchmarks and returns the parsed
+// results.
+func runBenchResults() ([]BenchResult, error) {
 	cmd := exec.Command("go", benchArgs...)
 	// The benchmarks live in the module root's bench_test.go; resolve
 	// it so -gobench works from any working directory.
@@ -54,14 +55,24 @@ func runGoBench(path string) error {
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return fmt.Errorf("benchtab: go %s: %w", strings.Join(benchArgs, " "), err)
+		return nil, fmt.Errorf("benchtab: go %s: %w", strings.Join(benchArgs, " "), err)
 	}
 	results, err := parseGoBench(bytes.NewReader(out))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("benchtab: no benchmark lines in go test output")
+		return nil, fmt.Errorf("benchtab: no benchmark lines in go test output")
+	}
+	return results, nil
+}
+
+// runGoBench runs the top-level benchmarks and writes the parsed
+// baseline to path.
+func runGoBench(path string) error {
+	results, err := runBenchResults()
+	if err != nil {
+		return err
 	}
 	doc := BenchBaseline{
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -79,6 +90,110 @@ func runGoBench(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+	return nil
+}
+
+// txPathBenchmarks are the transmit-hot-path benchmarks the -check
+// gate guards: the ones the batched datapath is accountable for.
+var txPathBenchmarks = map[string]bool{
+	"BenchmarkTable1PacketIO":     true,
+	"BenchmarkSimulatedLineRate":  true,
+	"BenchmarkTxBurstSteadyState": true,
+	"BenchmarkMulticoreScaling":   true,
+	"BenchmarkCRCGapScheduling":   true,
+}
+
+// allocThreshold is the allowed relative allocs/op regression.
+// Allocation counts are near-deterministic, so this is the gate's
+// precise signal: a TX loop growing a per-packet allocation trips it
+// immediately.
+const allocThreshold = 0.25
+
+// nsThreshold is the allowed relative ns/op regression. Wall timings
+// at -benchtime 1x vary by tens of percent across machines and runs
+// (the committed baseline is recorded wherever the last refresh ran),
+// so only catastrophic slowdowns — an accidental de-batching, an
+// event-storm regression — are actionable; finer timing moves are
+// tracked by refreshing the baseline, not by this gate.
+const nsThreshold = 1.5
+
+// nsCheckFloor exempts sub-microsecond benchmarks from the timing
+// check entirely: at one measured iteration their ns/op is dominated
+// by timer granularity.
+const nsCheckFloor = 10e3 // ns/op
+
+// checkGoBench runs the benchmarks fresh and compares the TX-path
+// subset against the committed baseline at path, failing on allocs/op
+// or catastrophic ns/op regressions.
+func checkGoBench(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchtab: read baseline: %w", err)
+	}
+	var base BenchBaseline
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("benchtab: parse baseline %s: %w", path, err)
+	}
+	baseline := map[string]BenchResult{}
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	fresh, err := runBenchResults()
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	compared := 0
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		if !txPathBenchmarks[r.Name] {
+			continue
+		}
+		seen[r.Name] = true
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("  %-32s new benchmark (no baseline): %.0f ns/op, %.0f allocs/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		compared++
+		nsDelta := r.NsPerOp/b.NsPerOp - 1
+		fmt.Printf("  %-32s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f\n",
+			r.Name, b.NsPerOp, r.NsPerOp, nsDelta*100, b.AllocsPerOp, r.AllocsPerOp)
+		if b.NsPerOp >= nsCheckFloor && r.NsPerOp > b.NsPerOp*(1+nsThreshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", r.Name, b.NsPerOp, r.NsPerOp, nsDelta*100))
+		}
+		// Alloc counts are near-deterministic; allow the threshold plus
+		// a small absolute slack for warmup noise.
+		if r.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold)+2 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.0f -> %.0f", r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	// A guarded benchmark vanishing from the fresh run (renamed or
+	// deleted) is itself a gate failure: its pin would otherwise
+	// silently stop being checked.
+	guarded := make([]string, 0, len(txPathBenchmarks))
+	for name := range txPathBenchmarks {
+		guarded = append(guarded, name)
+	}
+	sort.Strings(guarded)
+	for _, name := range guarded {
+		if _, inBase := baseline[name]; inBase && !seen[name] {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline but missing from the fresh run", name))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("benchtab: baseline %s contains no TX-path benchmarks to compare", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchtab: TX-path perf regressions vs %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("no TX-path regressions vs %s (%d benchmarks: allocs within %.0f%%, ns within %.1fx)\n",
+		path, compared, allocThreshold*100, 1+nsThreshold)
 	return nil
 }
 

@@ -8,16 +8,21 @@
 //	          cost-estimate|size-sweep|table3|clocksync|drift|fig7|fig8|
 //	          fig10|fig11]
 //	         [-full] [-seed 1]
-//	benchtab -gobench BENCH_baseline.json
+//	benchtab -gobench -out BENCH_baseline.json
+//	benchtab -gobench -check BENCH_baseline.json
 //
 // -full switches from the fast test scale to sample counts approaching
 // the paper's (slower).
 //
-// -gobench records a performance baseline instead: it runs the
+// -gobench works with the performance baseline instead: it runs the
 // repository's top-level benchmarks (bench_test.go) via `go test
-// -bench` and writes the parsed results — ns/op, allocations and every
-// custom metric — to the given JSON file, which is committed as
-// BENCH_*.json to track the perf trajectory across PRs.
+// -bench` and either writes the parsed results — ns/op, allocations
+// and every custom metric — to the -out JSON file (committed as
+// BENCH_*.json to track the perf trajectory across PRs), or, with
+// -check, compares the fresh run's TX-path benchmarks against the
+// committed baseline and exits nonzero on a >25% allocs/op regression
+// (near-deterministic) or a catastrophic (>2.5x) ns/op slowdown — the
+// CI perf gate of the batched datapath.
 package main
 
 import (
@@ -34,12 +39,23 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
 		full    = flag.Bool("full", false, "run at full scale (paper-like sample counts)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
-		gobench = flag.String("gobench", "", "run the repo benchmarks and write a JSON baseline to this file")
+		gobench = flag.Bool("gobench", false, "run the repo benchmarks (-out writes a baseline, -check compares against one)")
+		out     = flag.String("out", "", "with -gobench: write the JSON baseline to this file")
+		check   = flag.String("check", "", "with -gobench: compare TX-path benchmarks against this baseline, fail on regressions")
 	)
 	flag.Parse()
 
-	if *gobench != "" {
-		if err := runGoBench(*gobench); err != nil {
+	if *gobench {
+		var err error
+		switch {
+		case *check != "":
+			err = checkGoBench(*check)
+		case *out != "":
+			err = runGoBench(*out)
+		default:
+			err = fmt.Errorf("benchtab: -gobench needs -out FILE (record) or -check FILE (compare)")
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

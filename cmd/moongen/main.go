@@ -57,6 +57,7 @@ func main() {
 		seed     = fs.Int64("seed", spec.Seed, "simulation seed")
 		pattern  = fs.String("pattern", string(spec.Pattern), "pattern: linerate, cbr, poisson or bursts")
 		burst    = fs.Int("burst", spec.Burst, "burst size for the bursts pattern")
+		batch    = fs.Int("batch", spec.Batch, "TX burst size through the batched datapath (1 = per-packet)")
 		probes   = fs.Int("probes", spec.Probes, "timestamped latency probes (0 = none)")
 		samples  = fs.Int("samples", spec.Samples, "samples for distribution measurements")
 		steps    = fs.Int("steps", spec.Steps, "sweep steps for sweeping scenarios")
@@ -73,6 +74,7 @@ func main() {
 	spec.Seed = *seed
 	spec.Pattern = scenario.Pattern(*pattern)
 	spec.Burst = *burst
+	spec.Batch = *batch
 	spec.Probes = *probes
 	spec.Samples = *samples
 	spec.Steps = *steps
@@ -95,7 +97,7 @@ func runList(w io.Writer) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] [-cores N] ...")
+	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] [-cores N] [-batch N] ...")
 	fmt.Fprintln(os.Stderr, "       moongen list")
 	fmt.Fprintln(os.Stderr)
 	runList(os.Stderr)

@@ -25,11 +25,49 @@ type App struct {
 	// ordinary single-engine apps. Tasks can read it through
 	// Task.Shard to tell which modeled core they run on.
 	Shard int
+
+	// TxPoolSize overrides the shared transmit pool's buffer count
+	// when set before the pool is first used (default 8192).
+	TxPoolSize int
+
+	txPool  *mempool.Pool
+	txCache *mempool.Cache
 }
 
 // NewApp creates an App with a deterministic seed.
 func NewApp(seed int64) *App {
 	return &App{Eng: sim.NewEngine(seed)}
+}
+
+// defaultTxPoolCount sizes the shared transmit pool: comfortably more
+// than a descriptor ring plus the frames in flight on a 10 GbE wire.
+const defaultTxPoolCount = 8192
+
+// TxPool returns the app's shared transmit mempool (created on first
+// use). TX loops that fill every packet from scratch draw from it
+// through TxCache; scenarios with prefilled per-flow templates keep
+// their own pools.
+func (a *App) TxPool() *mempool.Pool {
+	if a.txPool == nil {
+		count := a.TxPoolSize
+		if count <= 0 {
+			count = defaultTxPoolCount
+		}
+		a.txPool = mempool.New(mempool.Config{Count: count})
+	}
+	return a.txPool
+}
+
+// TxCache returns the engine's allocation front over TxPool — the
+// per-core mempool cache of this modeled core (one App is one engine
+// is one core; all tasks of the engine run serialized, so they share
+// the cache safely). This is what makes every TX loop draw from one
+// per-core pool instead of allocating a private pool per task.
+func (a *App) TxCache() *mempool.Cache {
+	if a.txCache == nil {
+		a.txCache = a.TxPool().NewCache(0)
+	}
+	return a.txCache
 }
 
 // Task is the execution context handed to slave functions — MoonGen's
@@ -43,6 +81,10 @@ type Task struct {
 // Shard returns the modeled core this task runs on (0 unless the app
 // is a multicore shard).
 func (t *Task) Shard() int { return t.app.Shard }
+
+// Cache returns the engine's shared per-core mempool cache (see
+// App.TxCache).
+func (t *Task) Cache() *mempool.Cache { return t.app.TxCache() }
 
 // LaunchTask starts fn as a new task — mg.launchLua("slave", args...)
 // with the args captured by the closure.
@@ -72,27 +114,31 @@ func (a *App) Now() sim.Time { return a.Eng.Now() }
 // while staying far below any timing scale under test.
 const backoff = sim.Microsecond
 
-// SendAll enqueues the whole batch, busy-waiting while the descriptor
+// SendAll enqueues the whole burst, busy-waiting while the descriptor
 // ring is full — the blocking behaviour of MoonGen's queue:send(bufs).
 // It returns the number actually sent; a short count happens only when
-// the run ends mid-send (remaining buffers are freed).
+// the run ends mid-send (remaining buffers are freed). The stop
+// boundary is checked before each push, so the frames handed to the
+// NIC are exactly those pushed while the run was live — independent of
+// how the caller grouped them into bursts, which is what pins the
+// batch-size invariance of the transmit counters.
 func (t *Task) SendAll(q *nic.TxQueue, bufs []*mempool.Mbuf) int {
 	sent := 0
-	for sent < len(bufs) {
-		n := q.Send(bufs[sent:])
-		sent += n
+	for {
 		if sent == len(bufs) {
-			break
+			return sent
 		}
 		if !t.Running() {
 			for _, m := range bufs[sent:] {
 				m.Free()
 			}
-			break
+			return sent
 		}
-		t.Sleep(backoff)
+		sent += q.Send(bufs[sent:])
+		if sent < len(bufs) {
+			t.Sleep(backoff)
+		}
 	}
-	return sent
 }
 
 // AllocAll fills the whole BufArray, waiting for buffers to recycle if

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// departureTrace runs one TX loop for window and records every
+// departure's exact wire start instant plus frame length via the MAC
+// trace hook, together with the task's counters.
+type departureTrace struct {
+	starts []sim.Time
+	lens   []int
+	sent   uint64
+}
+
+func traceRun(t *testing.T, window sim.Duration, launch func(app *core.App, tx *core.Device) *uint64) *departureTrace {
+	t.Helper()
+	app := core.NewApp(7)
+	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: 2})
+	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
+	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
+	rx.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
+
+	tr := &departureTrace{}
+	tx.SetTxTrace(func(q *nic.TxQueue, m *mempool.Mbuf, at sim.Time) {
+		if at <= sim.Time(window) {
+			tr.starts = append(tr.starts, at)
+			tr.lens = append(tr.lens, m.Len)
+		}
+	})
+	sent := launch(app, tx)
+	app.RunFor(window)
+	tr.sent = *sent
+	return tr
+}
+
+func sameTrace(t *testing.T, name string, a, b *departureTrace) {
+	t.Helper()
+	if len(a.starts) != len(b.starts) {
+		t.Fatalf("%s: %d vs %d departures", name, len(a.starts), len(b.starts))
+	}
+	for i := range a.starts {
+		if a.starts[i] != b.starts[i] || a.lens[i] != b.lens[i] {
+			t.Fatalf("%s: departure %d differs: %v/%dB vs %v/%dB",
+				name, i, a.starts[i], a.lens[i], b.starts[i], b.lens[i])
+		}
+	}
+	if a.sent != b.sent {
+		t.Fatalf("%s: sent %d vs %d", name, a.sent, b.sent)
+	}
+}
+
+// TestGapTxBatchInvariantDepartures is the §8 precision pin: the
+// CRC-gap rate control must put every frame on the wire at the same
+// byte-exact instant no matter how the task groups its sends — Batch=1
+// (per-packet, the old hot path) and Batch=32 produce bit-identical
+// departure schedules, including the filler frames whose lengths
+// encode the gaps.
+func TestGapTxBatchInvariantDepartures(t *testing.T) {
+	run := func(batch int) *departureTrace {
+		return traceRun(t, 4*sim.Millisecond, func(app *core.App, tx *core.Device) *uint64 {
+			g := &core.GapTx{
+				Queue:   tx.GetTxQueue(0),
+				Pattern: rate.NewPoissonPPS(2e6),
+				PktSize: 60,
+				Batch:   batch,
+				Fill: func(m *mempool.Mbuf, i uint64) {
+					p := proto.UDPPacket{B: m.Payload()}
+					p.Fill(proto.UDPPacketFill{PktLength: 60,
+						IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.1.0.1")})
+				},
+			}
+			app.LaunchTask("gap", g.Run)
+			return &g.Sent
+		})
+	}
+	one := run(1)
+	if len(one.starts) < 1000 {
+		t.Fatalf("only %d departures traced", len(one.starts))
+	}
+	sameTrace(t, "batch 32", one, run(32))
+	sameTrace(t, "batch 5", one, run(5))
+
+	// The wire grid is byte-exact: consecutive departures are spaced by
+	// the previous frame's full wire time (frame + FCS + overhead).
+	bt := wire.ByteTime(wire.Speed10G)
+	for i := 1; i < len(one.starts); i++ {
+		gap := one.starts[i].Sub(one.starts[i-1])
+		min := sim.Duration(one.lens[i-1]+proto.FCSLen+proto.WireOverhead) * bt
+		if gap < min {
+			t.Fatalf("departure %d: gap %v below wire time %v", i, gap, min)
+		}
+	}
+}
+
+// TestHWRateTxBatchInvariantDepartures pins the §7.2 shaper under
+// batching: the hardware rate control's oscillating grid is produced
+// by the MAC model, so the task's burst size must not shift a single
+// departure.
+func TestHWRateTxBatchInvariantDepartures(t *testing.T) {
+	run := func(batch int) *departureTrace {
+		return traceRun(t, 4*sim.Millisecond, func(app *core.App, tx *core.Device) *uint64 {
+			h := &core.HWRateTx{Queue: tx.GetTxQueue(0), PPS: 1e6, PktSize: 60, Batch: batch}
+			app.LaunchTask("hw", h.Run)
+			return &h.Sent
+		})
+	}
+	one := run(1)
+	if len(one.starts) < 3000 {
+		t.Fatalf("only %d departures traced", len(one.starts))
+	}
+	sameTrace(t, "batch 32", one, run(32))
+}
+
+// TestSharedTxCache: the TX loops draw from the engine's shared
+// per-core pool — launching a loop must not create a private mempool,
+// and the pool drains back to full after the run.
+func TestSharedTxCache(t *testing.T) {
+	app := core.NewApp(3)
+	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0})
+	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
+	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
+	rx.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
+
+	g := &core.GapTx{Queue: tx.GetTxQueue(0), Pattern: rate.NewCBRPPS(1e6), PktSize: 60}
+	app.LaunchTask("gap", g.Run)
+	app.RunFor(2 * sim.Millisecond)
+
+	pool := app.TxPool()
+	allocs, frees := pool.Stats()
+	if allocs == 0 {
+		t.Fatal("GapTx did not allocate from the shared pool")
+	}
+	app.TxCache().Flush()
+	if frees = func() uint64 { _, f := pool.Stats(); return f }(); frees != allocs {
+		t.Fatalf("pool leaked: %d allocs, %d frees", allocs, frees)
+	}
+	if pool.Available() != pool.Count() {
+		t.Fatalf("pool not full after drain: %d of %d", pool.Available(), pool.Count())
+	}
+}

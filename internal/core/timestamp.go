@@ -30,8 +30,9 @@ type Timestamper struct {
 	// Timeout bounds the wait for a probe's timestamps (lost probes).
 	Timeout sim.Duration
 
-	pool *mempool.Pool
-	seq  uint16
+	pool  *mempool.Pool
+	seq   uint16
+	txBuf [1]*mempool.Mbuf // reusable send slot: no per-probe slice alloc
 
 	// Lost counts probes that timed out.
 	Lost uint64
@@ -93,9 +94,12 @@ func (ts *Timestamper) Probe(t *Task) (lat sim.Duration, ok bool) {
 		})
 	}
 	m.TxMeta.Timestamp = true
-	if t.SendAll(ts.TxQueue, []*mempool.Mbuf{m}) != 1 {
+	ts.txBuf[0] = m
+	if t.SendAll(ts.TxQueue, ts.txBuf[:]) != 1 {
+		ts.txBuf[0] = nil
 		return 0, false
 	}
+	ts.txBuf[0] = nil
 
 	deadline := t.Now().Add(ts.Timeout)
 	var txTS, rxTS sim.Time

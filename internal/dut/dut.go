@@ -169,6 +169,9 @@ func (f *Forwarder) onFrame(fr *wire.Frame, rxTime sim.Time) bool {
 		f.Dropped++
 		return true
 	}
+	// The driver backlog keeps the frame's payload past the deliver
+	// callback, so the frame must escape the link's recycling.
+	fr.Retain()
 	f.backlog = append(f.backlog, queued{data: fr.Data, arrived: now})
 	f.maybeInterrupt()
 	return true

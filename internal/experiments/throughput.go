@@ -44,10 +44,13 @@ func (pl *pacedLoad) run(app *core.App, window sim.Duration) (totalPkts uint64, 
 				UDPSrc:    1234, UDPDst: 5678,
 			})
 		})
+		// One mempool cache per modeled core over the core's own pool:
+		// the batched datapath's allocation front (§4.2).
+		cache := pool.NewCache(0)
 		workload := pl.workload
 		size := pl.pktSize
 		app.LaunchTask(fmt.Sprintf("core-%d", c), func(t *core.Task) {
-			bufs := pool.BufArray(mempool.DefaultBatchSize)
+			bufs := cache.BufArray(mempool.DefaultBatchSize)
 			rng := t.Engine().Rand()
 			qi := 0
 			for t.Running() {

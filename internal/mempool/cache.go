@@ -94,15 +94,54 @@ func (c *Cache) Alloc(length int) *Mbuf {
 
 // AllocBatch fills out with buffers of the given length and returns
 // how many it could allocate (short only when pool and cache ran dry).
+// The batch is served from the cached stock in bulk; the pool lock is
+// taken at most once per refill, not per buffer.
 func (c *Cache) AllocBatch(out []*Mbuf, length int) int {
-	for i := range out {
-		m := c.Alloc(length)
-		if m == nil {
-			return i
+	filled := 0
+	for filled < len(out) {
+		fromStock := len(c.local) > 0
+		if !fromStock && c.refill() == 0 {
+			return filled
 		}
-		out[i] = m
+		n := len(c.local)
+		take := len(out) - filled
+		if take > n {
+			take = n
+		}
+		for i := 0; i < take; i++ {
+			m := c.local[n-1-i]
+			c.local[n-1-i] = nil
+			m.cached = false
+			m.Reset(length)
+			out[filled+i] = m
+		}
+		c.local = c.local[:n-take]
+		if fromStock {
+			c.Hits += uint64(take)
+		}
+		filled += take
 	}
-	return len(out)
+	return filled
+}
+
+// FreeBatch returns a whole burst to the cache — the task-side
+// recycling path. Overflow spills to the pool half a cache at a time,
+// so the pool lock is amortized across the batch exactly as in
+// AllocBatch.
+func (c *Cache) FreeBatch(bufs []*Mbuf) {
+	for _, m := range bufs {
+		c.Put(m)
+	}
+}
+
+// BufArray returns a batch wrapper of the given size whose Alloc path
+// goes through this cache (size <= 0 selects DefaultBatchSize) — the
+// reusable per-task burst the batched TX loops are written around.
+func (c *Cache) BufArray(size int) *BufArray {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BufArray{Bufs: make([]*Mbuf, size), pool: c.pool, cache: c}
 }
 
 // Put returns a buffer to the cache. When the cache is full, half of

@@ -145,3 +145,77 @@ func TestCacheWrongPoolPanics(t *testing.T) {
 	}()
 	c.Put(m)
 }
+
+// TestCacheAllocBatchBulk: a whole burst is served with at most one
+// pool refill per cache-half, hits are counted per buffer served from
+// stock, and FreeBatch recycles the burst back through the cache.
+func TestCacheAllocBatchBulk(t *testing.T) {
+	p := New(Config{Count: 256})
+	c := p.NewCache(64)
+	out := make([]*Mbuf, 48)
+	if n := c.AllocBatch(out, 60); n != 48 {
+		t.Fatalf("AllocBatch = %d", n)
+	}
+	if c.Refills == 0 {
+		t.Fatal("no refill recorded")
+	}
+	c.FreeBatch(out)
+	hitsBefore := c.Hits
+	if n := c.AllocBatch(out, 60); n != 48 {
+		t.Fatalf("second AllocBatch = %d", n)
+	}
+	if c.Hits < hitsBefore+32 {
+		t.Fatalf("bulk hits not counted per buffer: %d -> %d", hitsBefore, c.Hits)
+	}
+	c.FreeBatch(out)
+	c.Flush()
+	if p.Available() != p.Count() {
+		t.Fatalf("pool leaked: %d of %d", p.Available(), p.Count())
+	}
+}
+
+// TestCacheBufArray: a cache-bound BufArray allocates through the
+// cache and FreeAll returns the buffers to it, not the pool.
+func TestCacheBufArray(t *testing.T) {
+	p := New(Config{Count: 128})
+	c := p.NewCache(32)
+	ba := c.BufArray(16)
+	if n := ba.Alloc(60); n != 16 {
+		t.Fatalf("Alloc = %d", n)
+	}
+	spills := c.Spills
+	ba.FreeAll()
+	if c.Len() == 0 {
+		t.Fatal("FreeAll bypassed the cache")
+	}
+	if c.Spills != spills {
+		t.Fatalf("FreeAll spilled unexpectedly")
+	}
+	for _, m := range ba.Bufs {
+		if m != nil {
+			t.Fatal("FreeAll left references")
+		}
+	}
+	c.Flush()
+	if p.Available() != p.Count() {
+		t.Fatalf("pool leaked: %d of %d", p.Available(), p.Count())
+	}
+}
+
+// TestCacheAllocBatchExhaustion: the burst comes up short only when
+// cache and pool are both dry, and recovers after a free.
+func TestCacheAllocBatchExhaustion(t *testing.T) {
+	p := New(Config{Count: 16})
+	c := p.NewCache(8)
+	out := make([]*Mbuf, 32)
+	if n := c.AllocBatch(out, 60); n != 16 {
+		t.Fatalf("AllocBatch on small pool = %d, want 16", n)
+	}
+	if n := c.AllocBatch(out[:4], 60); n != 0 {
+		t.Fatalf("dry AllocBatch = %d, want 0", n)
+	}
+	c.Put(out[0])
+	if n := c.AllocBatch(out[:4], 60); n != 1 {
+		t.Fatalf("post-free AllocBatch = %d, want 1", n)
+	}
+}

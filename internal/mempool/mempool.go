@@ -255,10 +255,14 @@ func (p *Pool) FreeBatch(bufs []*Mbuf) {
 // BufArray is MoonGen's bufArray: a reusable batch of packet buffers
 // processed together, "a thin wrapper around a C array containing packet
 // buffers ... to process packets in batches instead of passing them
-// one-by-one" (§4.2).
+// one-by-one" (§4.2). A BufArray can be bound to a Pool (Pool.BufArray)
+// or to a per-core Cache (Cache.BufArray); the batched TX loops reuse
+// one array for the whole run, so the hot path performs no per-packet
+// slice allocations.
 type BufArray struct {
-	Bufs []*Mbuf
-	pool *Pool
+	Bufs  []*Mbuf
+	pool  *Pool
+	cache *Cache
 }
 
 // BufArray returns a batch wrapper of the given size bound to this pool
@@ -289,20 +293,36 @@ func (a *BufArray) Len() int { return len(a.Bufs) }
 // that means the NIC is holding every buffer and the caller should
 // retry, which is exactly how DPDK applications behave.
 func (a *BufArray) Alloc(size int) int {
+	if a.cache != nil {
+		return a.cache.AllocBatch(a.Bufs, size)
+	}
 	if a.pool == nil {
 		panic("mempool: Alloc on unbound BufArray")
 	}
 	return a.pool.AllocBatch(a.Bufs, size)
 }
 
-// FreeAll returns every non-nil buffer to its pool and clears the slots
-// (bufs:freeAll()).
+// FreeAll returns every non-nil buffer (through the cache when bound to
+// one) and clears the slots (bufs:freeAll()).
 func (a *BufArray) FreeAll() {
 	for i, m := range a.Bufs {
-		if m != nil {
-			m.Free()
-			a.Bufs[i] = nil
+		if m == nil {
+			continue
 		}
+		if a.cache != nil && m.pool == a.cache.pool {
+			a.cache.Put(m)
+		} else {
+			m.Free()
+		}
+		a.Bufs[i] = nil
+	}
+}
+
+// Clear drops the first n references without freeing (the buffers were
+// handed to the NIC): the reuse step between bursts.
+func (a *BufArray) Clear(n int) {
+	for i := 0; i < n; i++ {
+		a.Bufs[i] = nil
 	}
 }
 

@@ -26,15 +26,12 @@ import (
 )
 
 // ShardSeed derives the engine seed of shard i from a base seed. The
-// derivation is a splitmix64 mixing step, so per-shard random streams
-// are decorrelated (base+1 and shard 0 of base do not collide the way
+// derivation is sim.SplitMix64, so per-shard random streams are
+// decorrelated (base+1 and shard 0 of base do not collide the way
 // naive seed+i schemes do) and stable: shard i always gets the same
 // seed no matter the core count.
 func ShardSeed(base int64, shard int) int64 {
-	z := uint64(base) + uint64(shard+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return sim.SplitMix64(base, uint64(shard+1))
 }
 
 // Shard is one modeled core: an independent deterministic engine plus

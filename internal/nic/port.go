@@ -6,6 +6,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/proto"
 	"repro/internal/ptpclk"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -61,18 +62,38 @@ type Port struct {
 
 	// MAC scheduler state (see txqueue.go). pumpScheduled/pumpAt
 	// track the earliest pending evaluation; later duplicates fire
-	// harmlessly.
+	// harmlessly. pumpFn is the prebound event callback so arming an
+	// evaluation allocates nothing.
 	pumpScheduled bool
 	pumpAt        sim.Time
-	pumpGen       uint64
+	pumpFn        func()
 	rrNext        int
 	fifoBytes     int // bytes fetched into the on-chip TX FIFO
 	lastTxStart   sim.Time
 	hasTxStart    bool
+	txTrain       int // max frames the MAC commits per scheduler event
+
+	// completions is the transmit-completion FIFO: buffers owned by
+	// the NIC until their frame leaves the FIFO, recycled in batches
+	// by the prebound completeFn (one event per train, no closures).
+	completions    ring.FIFO[txCompletion]
+	lastCompletion sim.Time
+	completeFn     func()
+
+	// txTrace, when set, observes every departure commit with its
+	// exact wire start instant (tests pin the batched scheduler's
+	// timing grid through this).
+	txTrace func(q *TxQueue, m *mempool.Mbuf, wireStart sim.Time)
 
 	// onDeliver, when set, intercepts valid received frames before
 	// queue steering (used by the DuT model for custom processing).
 	onDeliver func(f *wire.Frame, rxTime sim.Time) bool
+}
+
+// txCompletion is one entry of the transmit-completion FIFO.
+type txCompletion struct {
+	m  *mempool.Mbuf
+	at sim.Time
 }
 
 // PortConfig configures a port at creation.
@@ -89,6 +110,10 @@ type PortConfig struct {
 	TxRingSize int
 	// RxRingSize is the per-queue receive ring size (default 512).
 	RxRingSize int
+	// TxTrain caps how many frames the MAC scheduler commits per
+	// event on the batched fast path (default DefaultTxTrain; 1
+	// reproduces the per-packet scheduler event for event).
+	TxTrain int
 	// ClockDriftPPM desynchronizes this port's PTP clock rate.
 	ClockDriftPPM float64
 	// ClockOffset desynchronizes this port's PTP clock phase.
@@ -140,7 +165,13 @@ func NewPort(eng *sim.Engine, cfg PortConfig) *Port {
 		}),
 		rxPool:    mempool.New(mempool.Config{Count: cfg.RxPoolSize}),
 		tsUDPPort: proto.PTPUDPPort,
+		txTrain:   cfg.TxTrain,
 	}
+	if p.txTrain <= 0 {
+		p.txTrain = DefaultTxTrain
+	}
+	p.pumpFn = p.pumpEvent
+	p.completeFn = p.completeTx
 	for i := 0; i < cfg.TxQueues; i++ {
 		p.txQueues = append(p.txQueues, newTxQueue(p, i, cfg.TxRingSize))
 	}
@@ -228,8 +259,18 @@ func (p *Port) ReadRxTimestamp() (ts sim.Time, seq uint16, ok bool) {
 // SetDeliverHook installs an interceptor for valid received frames;
 // returning true consumes the frame (skipping queue steering). The DuT
 // model uses this to process packets without the full driver stack.
+// The frame is recycled by the link after the hook returns unless the
+// hook calls Frame.Retain.
 func (p *Port) SetDeliverHook(fn func(f *wire.Frame, rxTime sim.Time) bool) {
 	p.onDeliver = fn
+}
+
+// SetTxTrace installs an observer called at every departure commit
+// with the frame's exact wire start instant — the probe tests use it
+// to pin the batched scheduler's timing grid against the per-packet
+// reference.
+func (p *Port) SetTxTrace(fn func(q *TxQueue, m *mempool.Mbuf, wireStart sim.Time)) {
+	p.txTrace = fn
 }
 
 // classifyPTP inspects a frame for the hardware timestamp filter:

@@ -36,7 +36,7 @@ func (q *RxQueue) Pending() int { return q.ring.Len() }
 // zero — the non-blocking burst receive MoonGen's counterSlave loops
 // on). The caller owns the returned buffers and must Free them.
 func (q *RxQueue) Recv(out []*mempool.Mbuf) int {
-	return q.ring.Dequeue(out)
+	return q.ring.DequeueBurst(out)
 }
 
 // RecvOne receives a single buffer if available.

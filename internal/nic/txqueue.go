@@ -11,6 +11,12 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultTxTrain is the default cap on frames the MAC scheduler
+// commits per event on the batched fast path — matched to the burst
+// sizes the tasks use so one descriptor-ring burst drains in one
+// scheduler evaluation.
+const DefaultTxTrain = 32
+
 // TxQueue is one hardware transmit queue: a descriptor ring the
 // application fills asynchronously, drained by the port's MAC
 // scheduler. Queues are independent — "essentially a virtual interface"
@@ -88,14 +94,14 @@ func (q *TxQueue) RateInterval() sim.Duration { return q.interval }
 // Free returns the free descriptor slots.
 func (q *TxQueue) Free() int { return q.ring.Free() }
 
-// Send enqueues the batch onto the descriptor ring and returns how many
+// Send enqueues the burst onto the descriptor ring and returns how many
 // were accepted — DPDK burst semantics: a full ring yields a short
 // count and the caller retries, busy-wait style. Accepted buffers are
 // owned by the NIC until transmit completion ("a buffer must not be
 // modified after passing it to DPDK", §4.2); they are freed back to
 // their pool automatically, mirroring DPDK's recycling.
 func (q *TxQueue) Send(bufs []*mempool.Mbuf) int {
-	n := q.ring.Enqueue(bufs)
+	n := q.ring.EnqueueBurst(bufs)
 	if n > 0 {
 		q.port.kickPump()
 	}
@@ -115,7 +121,10 @@ func (q *TxQueue) SendOne(m *mempool.Mbuf) bool {
 // "oscillates around the targeted inter-arrival time by up to 256 ns"
 // with rare larger excursions (§7.3, Table 4). The mixture is
 // calibrated so the measured inter-arrival buckets land near Table 4's
-// MoonGen rows.
+// MoonGen rows. rng is always the port engine's seeded source — this
+// package never touches the math/rand globals (the import above is
+// for the *rand.Rand type only), which is what keeps sharded runs
+// deterministic; TestNoGlobalRandState pins it.
 func drawHWOscillation(rng *rand.Rand) sim.Duration {
 	u := rng.Float64()
 	var ns float64
@@ -187,22 +196,26 @@ func (p *Port) kickPump() { p.schedulePump(p.eng.Now()) }
 // schedulePump arranges exactly one pending evaluation at the earliest
 // requested instant. An existing earlier-or-equal event already covers
 // this request (pump re-derives all state and re-chains); a later one
-// is superseded via the generation counter, so stale events are no-ops
-// and the event population stays O(1) per port.
+// is superseded. Events carry the prebound pumpFn — no closure
+// allocation — and pumpEvent discards stale firings by comparing the
+// armed instant, so the event population stays O(1) per port.
 func (p *Port) schedulePump(at sim.Time) {
 	if p.pumpScheduled && p.pumpAt <= at {
 		return
 	}
-	p.pumpGen++
-	gen := p.pumpGen
 	p.pumpScheduled = true
 	p.pumpAt = at
-	p.eng.Schedule(at, func() {
-		if gen != p.pumpGen {
-			return // superseded by an earlier evaluation
-		}
-		p.pump()
-	})
+	p.eng.Schedule(at, p.pumpFn)
+}
+
+// pumpEvent is the scheduled entry point: it runs the scheduler only
+// when this firing matches the armed evaluation (stale events from
+// superseded arm times no-op).
+func (p *Port) pumpEvent() {
+	if !p.pumpScheduled || p.pumpAt != p.eng.Now() {
+		return
+	}
+	p.pump()
 }
 
 // pump is the port's MAC transmit scheduler: it picks the next eligible
@@ -210,13 +223,106 @@ func (p *Port) schedulePump(at sim.Time) {
 // honors per-queue rate limiters, the wire's serialization spacing, the
 // runt-frame rate ceiling and the XL710's per-port packet ceiling, then
 // emits the frame onto the link.
+//
+// Batching: after the first commit, the scheduler keeps emitting from
+// the same queue — up to txTrain frames in this one event — as long as
+// it is the only active queue and unshaped, stamping each departure on
+// the exact per-frame wire grid (serialization spacing plus the rate
+// ceilings). The grid arithmetic is identical to the per-packet
+// evaluation, so departure times are bit-identical; only the event
+// count drops. Shaped queues and multi-queue arbitration points are
+// always evaluated in their own event, exactly as before, which keeps
+// the §7.2 shaper oscillation model untouched.
 func (p *Port) pump() {
 	p.pumpScheduled = false
 	if p.link == nil {
 		return // unconnected port: frames pile up in the rings
 	}
 	now := p.eng.Now()
+	if !p.pumpStep(now) {
+		return
+	}
+	// Train continuation: same-queue burst on the pure wire grid. The
+	// horizon bounds how much wire time one event may pre-commit, so a
+	// frame enqueued on another queue mid-train (a latency probe during
+	// a flood) waits no longer than it would behind one large frame
+	// under the per-packet scheduler.
+	emitted := 1
+	horizon := now.Add(sim.Duration(p.txTrain) * wire.FrameTime(p.profile.Speed, proto.MinFrameSizeFCS))
+	for emitted < p.txTrain {
+		sole, multi := p.soleActiveQueue()
+		if multi || (sole != nil && sole.interval != 0) {
+			// Arbitration or shaping: its own evaluation event.
+			p.schedulePump(p.link.NextTxSlot())
+			break
+		}
+		if sole == nil {
+			break // rings drained; the next Send kicks us again
+		}
+		start := p.link.NextTxSlot()
+		if start < now {
+			start = now
+		}
+		m, _ := sole.ring.Peek()
+		start = p.applyRateCeilings(m, start)
+		if start > horizon {
+			p.schedulePump(start)
+			break
+		}
+		m, _ = sole.ring.DequeueOne()
+		sole.advance()
+		p.rrNext = (sole.id + 1) % len(p.txQueues)
+		p.transmitFrameAt(sole, m, start)
+		emitted++
+	}
+	if emitted == p.txTrain {
+		p.schedulePump(p.link.NextTxSlot())
+	}
+	p.armCompletions()
+}
 
+// soleActiveQueue returns the only TX queue with pending frames, or
+// multi=true when more than one queue is active.
+func (p *Port) soleActiveQueue() (sole *TxQueue, multi bool) {
+	for _, q := range p.txQueues {
+		if _, ok := q.ring.Peek(); !ok {
+			continue
+		}
+		if sole != nil {
+			return nil, true
+		}
+		sole = q
+	}
+	return sole, false
+}
+
+// applyRateCeilings delays start to honor the per-port packet-rate
+// ceilings: sub-minimum frames cap at RuntMaxPPS (§8.1); the XL710
+// caps all frames at PortMaxPPS (§5.4).
+func (p *Port) applyRateCeilings(m *mempool.Mbuf, start sim.Time) sim.Time {
+	if !p.hasTxStart {
+		return start
+	}
+	var minGap sim.Duration
+	wireSize := m.Len + proto.FCSLen
+	if wireSize < proto.MinFrameSizeFCS && p.profile.RuntMaxPPS > 0 {
+		minGap = sim.FromSeconds(1 / p.profile.RuntMaxPPS)
+	}
+	if p.profile.PortMaxPPS > 0 {
+		if g := sim.FromSeconds(1 / p.profile.PortMaxPPS); g > minGap {
+			minGap = g
+		}
+	}
+	if minGap > 0 && start.Sub(p.lastTxStart) < minGap {
+		return p.lastTxStart.Add(minGap)
+	}
+	return start
+}
+
+// pumpStep is one per-packet scheduler evaluation: scan, pick, check
+// eligibility, commit if the frame may start now. It reports whether a
+// frame was committed (the train continues only after a commit).
+func (p *Port) pumpStep(now sim.Time) bool {
 	// Scan queues starting after the last served one: equal-eligibility
 	// queues share the wire round-robin, as the hardware arbiter does.
 	var best *TxQueue
@@ -234,7 +340,7 @@ func (p *Port) pump() {
 		}
 	}
 	if best == nil {
-		return // idle; the next Send kicks us again
+		return false // idle; the next Send kicks us again
 	}
 
 	start := bestAt
@@ -246,44 +352,27 @@ func (p *Port) pump() {
 	}
 
 	m, _ := best.ring.Peek()
-
-	// Per-port packet-rate ceilings: sub-minimum frames cap at
-	// RuntMaxPPS (§8.1); the XL710 caps all frames at PortMaxPPS
-	// (§5.4).
-	if p.hasTxStart {
-		var minGap sim.Duration
-		wireSize := m.Len + proto.FCSLen
-		if wireSize < proto.MinFrameSizeFCS && p.profile.RuntMaxPPS > 0 {
-			minGap = sim.FromSeconds(1 / p.profile.RuntMaxPPS)
-		}
-		if p.profile.PortMaxPPS > 0 {
-			if g := sim.FromSeconds(1 / p.profile.PortMaxPPS); g > minGap {
-				minGap = g
-			}
-		}
-		if minGap > 0 && start.Sub(p.lastTxStart) < minGap {
-			start = p.lastTxStart.Add(minGap)
-		}
-	}
+	start = p.applyRateCeilings(m, start)
 
 	if start > now {
 		p.schedulePump(start)
-		return
+		return false
 	}
 
 	// Commit: dequeue and transmit.
 	m, _ = best.ring.DequeueOne()
 	best.advance()
 	p.rrNext = (best.id + 1) % len(p.txQueues)
-	p.transmitFrame(best, m)
-	// Evaluate the next frame once the wire frees up.
-	p.schedulePump(p.link.NextTxSlot())
+	p.transmitFrameAt(best, m, start)
+	return true
 }
 
-// transmitFrame performs the DMA fetch (checksum offloads), MAC-level
-// timestamp latch and wire emission for one buffer, then arranges the
-// buffer's recycling at transmit completion.
-func (p *Port) transmitFrame(q *TxQueue, m *mempool.Mbuf) {
+// transmitFrameAt performs the DMA fetch (checksum offloads), MAC-level
+// timestamp latch and wire emission for one buffer at the exact wire
+// instant start (≥ now: train frames after the first are future-stamped
+// on the serialization grid), then queues the buffer's recycling at
+// transmit completion.
+func (p *Port) transmitFrameAt(q *TxQueue, m *mempool.Mbuf, start sim.Time) {
 	data := m.Payload()
 
 	// Checksum offload engine: executed when the hardware fetches the
@@ -319,24 +408,21 @@ func (p *Port) transmitFrame(q *TxQueue, m *mempool.Mbuf) {
 		}
 	}
 
-	now := p.eng.Now()
-
 	// TX hardware timestamping, "late in the transmit path" (§6.1).
 	if meta.Timestamp && !p.txTSValid {
 		if seq, ok := p.classifyPTP(data); ok {
 			p.txTSValid = true
-			p.txTS = p.Clock.TimestampAt(now)
+			p.txTS = p.Clock.TimestampAt(start)
 			p.txTSSeq = seq
 		}
 	}
 
-	f := &wire.Frame{
-		Data:     append([]byte(nil), data...),
-		WireSize: m.Len + proto.FCSLen,
-		CRCOK:    !meta.InvalidCRC,
-	}
-	busyUntil := p.link.Transmit(f)
-	p.lastTxStart = now
+	f := p.link.AcquireFrame()
+	f.Data = append(f.Data, data...)
+	f.WireSize = m.Len + proto.FCSLen
+	f.CRCOK = !meta.InvalidCRC
+	busyUntil := p.link.TransmitAt(f, start)
+	p.lastTxStart = start
 	p.hasTxStart = true
 
 	p.stats.TxPackets++
@@ -344,7 +430,42 @@ func (p *Port) transmitFrame(q *TxQueue, m *mempool.Mbuf) {
 	q.sent++
 	q.sentBytes += uint64(m.Len)
 
+	if p.txTrace != nil {
+		p.txTrace(q, m, start)
+	}
+
 	// The NIC owns the buffer until the frame has left the FIFO; then
-	// DPDK-style recycling returns it to its pool.
-	p.eng.Schedule(busyUntil, m.Free)
+	// DPDK-style recycling returns it to its pool. Completions are
+	// queued here and armed once per train (armCompletions).
+	p.pushCompletion(m, busyUntil)
+}
+
+// pushCompletion appends a buffer to the transmit-completion FIFO
+// (completion times are monotonic: busyUntil only moves forward).
+func (p *Port) pushCompletion(m *mempool.Mbuf, at sim.Time) {
+	p.lastCompletion = at
+	p.completions.Push(txCompletion{m: m, at: at})
+}
+
+// armCompletions schedules one recycling event at the end of the train
+// just committed. The event frees every buffer whose frame has left the
+// FIFO by then; with single-frame trains this is exactly the per-packet
+// free-at-busyUntil behavior.
+func (p *Port) armCompletions() {
+	if p.completions.Len() > 0 {
+		p.eng.Schedule(p.lastCompletion, p.completeFn)
+	}
+}
+
+// completeTx frees every buffer whose transmit completed by now.
+func (p *Port) completeTx() {
+	now := p.eng.Now()
+	for {
+		c, ok := p.completions.Peek()
+		if !ok || c.at > now {
+			return
+		}
+		p.completions.Pop()
+		c.m.Free()
+	}
 }

@@ -108,9 +108,12 @@ func (q *MPMC[T]) DequeueOne() (T, bool) {
 	}
 }
 
-// Enqueue adds up to len(items) items one slot at a time and returns the
-// number added.
-func (q *MPMC[T]) Enqueue(items []T) int {
+// EnqueueBurst adds up to len(items) items and returns the number
+// added. Unlike the SPSC ring the slots are claimed one CAS at a time
+// (Vyukov slots cannot be range-reserved without spinning on foreign
+// producers), but the burst call is still the unit of work: a short
+// count means the ring filled mid-burst and items[:n] was added.
+func (q *MPMC[T]) EnqueueBurst(items []T) int {
 	for i := range items {
 		if !q.EnqueueOne(items[i]) {
 			return i
@@ -119,8 +122,11 @@ func (q *MPMC[T]) Enqueue(items []T) int {
 	return len(items)
 }
 
-// Dequeue removes up to len(out) items and returns the count.
-func (q *MPMC[T]) Dequeue(out []T) int {
+// Enqueue is EnqueueBurst under its legacy name.
+func (q *MPMC[T]) Enqueue(items []T) int { return q.EnqueueBurst(items) }
+
+// DequeueBurst removes up to len(out) items and returns the count.
+func (q *MPMC[T]) DequeueBurst(out []T) int {
 	for i := range out {
 		item, ok := q.DequeueOne()
 		if !ok {
@@ -130,3 +136,6 @@ func (q *MPMC[T]) Dequeue(out []T) int {
 	}
 	return len(out)
 }
+
+// Dequeue is DequeueBurst under its legacy name.
+func (q *MPMC[T]) Dequeue(out []T) int { return q.DequeueBurst(out) }

@@ -66,10 +66,12 @@ func (r *SPSC[T]) Len() int {
 // Free returns the remaining capacity (snapshot).
 func (r *SPSC[T]) Free() int { return r.Cap() - r.Len() }
 
-// Enqueue adds up to len(items) items and returns how many were added
-// (possibly zero if the ring is full). Items are added in order; on a
-// short count, the prefix items[:n] was added.
-func (r *SPSC[T]) Enqueue(items []T) int {
+// EnqueueBurst adds up to len(items) items under one producer-index
+// publication and returns how many were added (possibly zero if the
+// ring is full). Items are added in order; on a short count, the prefix
+// items[:n] was added. This is rte_ring_enqueue_burst: the burst is the
+// unit of work, the short count is the backpressure signal.
+func (r *SPSC[T]) EnqueueBurst(items []T) int {
 	tail := r.tail.Load()
 	head := r.head.Load()
 	free := uint64(len(r.buf)) - (tail - head)
@@ -87,16 +89,20 @@ func (r *SPSC[T]) Enqueue(items []T) int {
 	return int(n)
 }
 
+// Enqueue is EnqueueBurst under its legacy name.
+func (r *SPSC[T]) Enqueue(items []T) int { return r.EnqueueBurst(items) }
+
 // EnqueueOne adds a single item, reporting whether there was room.
 func (r *SPSC[T]) EnqueueOne(item T) bool {
 	var one [1]T
 	one[0] = item
-	return r.Enqueue(one[:]) == 1
+	return r.EnqueueBurst(one[:]) == 1
 }
 
-// Dequeue removes up to len(out) items into out and returns the count
-// (possibly zero if the ring is empty).
-func (r *SPSC[T]) Dequeue(out []T) int {
+// DequeueBurst removes up to len(out) items into out under one
+// consumer-index publication and returns the count (possibly zero if
+// the ring is empty) — rte_ring_dequeue_burst.
+func (r *SPSC[T]) DequeueBurst(out []T) int {
 	head := r.head.Load()
 	tail := r.tail.Load()
 	avail := tail - head
@@ -117,10 +123,13 @@ func (r *SPSC[T]) Dequeue(out []T) int {
 	return int(n)
 }
 
+// Dequeue is DequeueBurst under its legacy name.
+func (r *SPSC[T]) Dequeue(out []T) int { return r.DequeueBurst(out) }
+
 // DequeueOne removes a single item, reporting whether one was available.
 func (r *SPSC[T]) DequeueOne() (T, bool) {
 	var out [1]T
-	if r.Dequeue(out[:]) == 1 {
+	if r.DequeueBurst(out[:]) == 1 {
 		return out[0], true
 	}
 	var zero T

@@ -380,3 +380,47 @@ func BenchmarkMPMCEnqueueDequeue(b *testing.B) {
 		q.DequeueOne()
 	}
 }
+
+// TestBurstNamesAreCanonical: EnqueueBurst/DequeueBurst are the burst
+// API the datapath uses; the legacy names must stay aliases with
+// identical short-count semantics on both ring variants.
+func TestBurstNamesAreCanonical(t *testing.T) {
+	r := NewSPSC[int](8)
+	in := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if n := r.EnqueueBurst(in); n != 8 {
+		t.Fatalf("SPSC EnqueueBurst = %d, want 8 (short count on full)", n)
+	}
+	out := make([]int, 16)
+	if n := r.DequeueBurst(out); n != 8 {
+		t.Fatalf("SPSC DequeueBurst = %d", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != in[i] {
+			t.Fatalf("burst order broken at %d: %d", i, out[i])
+		}
+	}
+
+	q := NewMPMC[int](8)
+	if n := q.EnqueueBurst(in); n != 8 {
+		t.Fatalf("MPMC EnqueueBurst = %d, want 8", n)
+	}
+	if n := q.DequeueBurst(out); n != 8 {
+		t.Fatalf("MPMC DequeueBurst = %d", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != in[i] {
+			t.Fatalf("MPMC burst order broken at %d: %d", i, out[i])
+		}
+	}
+}
+
+func BenchmarkSPSCBurst32(b *testing.B) {
+	r := NewSPSC[int](1024)
+	batch := make([]int, 32)
+	out := make([]int, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.EnqueueBurst(batch)
+		r.DequeueBurst(out)
+	}
+}

@@ -1,0 +1,92 @@
+package scenario_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestBatchInvariantMergedStats is the acceptance property of the
+// batched datapath: for the deterministic patterns, Spec.Batch only
+// changes how packets are grouped on their way to the descriptor ring
+// — every merged counter, flow count and report row is identical at
+// Batch=1 (per-packet) and Batch=32, on one core and on four sharded
+// cores.
+func TestBatchInvariantMergedStats(t *testing.T) {
+	for _, pattern := range []scenario.Pattern{scenario.PatternSoftCBR, scenario.PatternPoisson} {
+		for _, cores := range []int{1, 4} {
+			for _, seed := range []int64{1, 3} {
+				name := string(pattern)
+				t.Run(fmt.Sprintf("%s/cores=%d/seed=%d", name, cores, seed), func(t *testing.T) {
+					run := func(batch int) string {
+						spec := scenario.Spec{
+							Pattern: pattern, RateMpps: 2,
+							Runtime: 10 * sim.Millisecond, Seed: seed,
+							Cores: cores, Batch: batch,
+						}
+						rep, err := scenario.Execute(name, spec, io.Discard)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return fingerprint(rep)
+					}
+					one, many := run(1), run(32)
+					if one != many {
+						t.Errorf("batch=1 vs batch=32 reports differ:\n  1: %s\n 32: %s", one, many)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchInvariantDepartureTimestamps drives a scenario through its
+// Env (single core, where the generator device is reachable) and pins
+// the full departure-timestamp sequence within the window: Batch=1 and
+// Batch=32 put every frame — real and CRC-gap filler — on the wire at
+// the same instant.
+func TestBatchInvariantDepartureTimestamps(t *testing.T) {
+	for _, name := range []string{"softcbr", "poisson"} {
+		t.Run(name, func(t *testing.T) {
+			run := func(batch int) []sim.Time {
+				sc, ok := scenario.Get(name)
+				if !ok {
+					t.Fatalf("scenario %q not registered", name)
+				}
+				spec := sc.DefaultSpec()
+				spec.RateMpps = 2
+				spec.Runtime = 5 * sim.Millisecond
+				spec.Seed = 9
+				spec.Batch = batch
+				env := scenario.NewEnv(spec, io.Discard)
+				var starts []sim.Time
+				env.TX().SetTxTrace(func(q *nic.TxQueue, m *mempool.Mbuf, at sim.Time) {
+					if at <= sim.Time(spec.Runtime) {
+						starts = append(starts, at)
+					}
+				})
+				if _, err := sc.Run(env); err != nil {
+					t.Fatal(err)
+				}
+				return starts
+			}
+			one, many := run(1), run(32)
+			if len(one) == 0 {
+				t.Fatal("no departures traced")
+			}
+			if len(one) != len(many) {
+				t.Fatalf("batch=1 emitted %d frames, batch=32 emitted %d", len(one), len(many))
+			}
+			for i := range one {
+				if one[i] != many[i] {
+					t.Fatalf("departure %d differs: %v vs %v", i, one[i], many[i])
+				}
+			}
+		})
+	}
+}

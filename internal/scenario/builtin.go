@@ -60,7 +60,7 @@ func LaunchLoad(env *Env) (finish func(*Report), err error) {
 		flood := &core.UDPFlood{
 			Queue: q, PktSize: size,
 			BaseIP: flow.SrcIP, Randomize: flow.SrcIPCount,
-			Pool: pool,
+			Pool: pool, Batch: spec.Batch,
 		}
 		if pps > 0 {
 			q.SetRatePPS(pps)
@@ -73,7 +73,7 @@ func LaunchLoad(env *Env) (finish func(*Report), err error) {
 		if pps <= 0 {
 			return nil, fmt.Errorf("pattern %s needs a rate (got %v)", spec.Pattern, spec)
 		}
-		h := &core.HWRateTx{Queue: q, PPS: pps, PktSize: size, Fill: fill, Delay: spec.TxPhase}
+		h := &core.HWRateTx{Queue: q, PPS: pps, PktSize: size, Fill: fill, Delay: spec.TxPhase, Batch: spec.Batch}
 		env.App().LaunchTask("cbr", h.Run)
 		finish = func(rep *Report) {
 			rep.Flows = append(rep.Flows, FlowReport{Name: flow.Name, TxPackets: h.Sent})
@@ -128,7 +128,7 @@ func LaunchLoad(env *Env) (finish func(*Report), err error) {
 			b2b := wire.FrameTime(q.Port().Speed(), size+proto.FCSLen)
 			pat = &rate.Bursts{Size: spec.Burst, AvgInterval: sim.FromSeconds(1 / pps), BackToBack: b2b}
 		}
-		g := &core.GapTx{Queue: q, Pattern: pat, PktSize: size, Fill: fill}
+		g := &core.GapTx{Queue: q, Pattern: pat, PktSize: size, Fill: fill, Batch: spec.Batch}
 		env.App().LaunchTask(string(spec.Pattern), g.Run)
 		finish = func(rep *Report) {
 			rep.Flows = append(rep.Flows, FlowReport{Name: flow.Name, TxPackets: g.Sent})

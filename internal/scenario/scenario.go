@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -89,6 +90,13 @@ type Spec struct {
 	Pattern Pattern
 	// Burst is the burst size for PatternBursts.
 	Burst int
+	// Batch is the TX-loop burst size: how many packets move through
+	// the batched datapath (mempool cache → BufArray → descriptor
+	// ring) as one unit of work. Default 32; 1 reproduces per-packet
+	// processing. The emission schedule is invariant in Batch — the
+	// knob trades host-side event overhead, never timing. Patterns
+	// that pace one packet per grid tick (softcbr) ignore it.
+	Batch int
 	// Runtime is the simulated run time.
 	Runtime sim.Duration
 	// Seed seeds the simulation; equal seeds reproduce runs exactly.
@@ -144,6 +152,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Burst <= 0 {
 		s.Burst = 16
+	}
+	if s.Batch <= 0 {
+		s.Batch = core.DefaultTxBatch
 	}
 	if s.Cores < 1 {
 		s.Cores = 1

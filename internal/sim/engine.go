@@ -81,7 +81,9 @@ type Engine struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
+	streams uint64
 	stopped bool
 	procs   int // live processes, for diagnostics
 
@@ -94,15 +96,42 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 // The same seed always produces the same event trace.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed)), stopAt: Never}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed)), stopAt: Never}
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
 // Rand returns the engine's deterministic random source. It must only be
 // used from simulation context (event callbacks and processes).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SplitMix64 derives a decorrelated seed for sub-stream `stream` of a
+// base seed — one splitmix64 mixing step. It is the single seed
+// derivation of the simulation: engine sub-streams (NewRand) and the
+// multicore shard seeds both use it, so base+1/stream-0 collisions of
+// naive seed+i schemes cannot occur anywhere.
+func SplitMix64(base int64, stream uint64) int64 {
+	z := uint64(base) + stream*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// NewRand returns a fresh deterministic random stream derived from the
+// engine seed and the stream's creation order (SplitMix64, the same
+// derivation the multicore shard seeds use). Model components with
+// per-item randomness — e.g. a link's per-frame PHY jitter — draw from
+// their own stream so the values depend only on the item index, not on
+// how work was grouped into events. That invariance is what makes
+// batched and per-packet processing bit-identical.
+func (e *Engine) NewRand() *rand.Rand {
+	e.streams++
+	return rand.New(rand.NewSource(SplitMix64(e.seed, e.streams)))
+}
 
 // Schedule runs fn at time at. Scheduling in the past panics: it would
 // silently corrupt causality.

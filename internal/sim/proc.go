@@ -17,6 +17,10 @@ type Proc struct {
 	resume chan struct{}
 	parked chan struct{}
 	dead   bool
+
+	// dispatchFn is the prebound wake-up callback: Sleep/SleepUntil on
+	// the hot path schedule it without allocating a closure per park.
+	dispatchFn func()
 }
 
 // Spawn starts fn as a new simulation process at the current simulated
@@ -29,6 +33,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.dispatchFn = func() { e.dispatch(p) }
 	e.procs++
 	go func() {
 		<-p.resume // wait for the engine to hand us control
@@ -41,7 +46,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	}()
 	// First wake-up happens as a normal event at the current time, so
 	// Spawn itself never runs user code.
-	e.Schedule(e.now, func() { e.dispatch(p) })
+	e.Schedule(e.now, p.dispatchFn)
 	return p
 }
 
@@ -83,7 +88,7 @@ func (p *Proc) Sleep(d Duration) {
 		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
 	}
 	e := p.eng
-	e.Schedule(e.now.Add(d), func() { e.dispatch(p) })
+	e.Schedule(e.now.Add(d), p.dispatchFn)
 	p.park()
 }
 
@@ -94,7 +99,7 @@ func (p *Proc) SleepUntil(t Time) {
 		t = p.eng.now
 	}
 	e := p.eng
-	e.Schedule(t, func() { e.dispatch(p) })
+	e.Schedule(t, p.dispatchFn)
 	p.park()
 }
 

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/proto"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -125,6 +126,11 @@ func (p PHYProfile) Jitter(rng *rand.Rand) sim.Duration {
 // rate-control filler frames are emitted with CRCOK=false). WireSize is
 // the frame size including FCS — possibly below the legal 64 B minimum
 // for short filler frames.
+//
+// Frames are recycled by the link after delivery: Data is valid only
+// for the duration of the DeliverFrame call unless the consumer calls
+// Retain, in which case the frame escapes to the consumer and the link
+// allocates a fresh one.
 type Frame struct {
 	Data     []byte
 	WireSize int
@@ -133,15 +139,29 @@ type Frame struct {
 	// SeqNo is the link-level emission sequence number, used by tests
 	// to check that delivery order matches transmission order.
 	SeqNo uint64
+
+	retained bool
 }
+
+// Retain marks the frame as escaped: the link will not recycle it after
+// DeliverFrame returns, so the consumer may keep Data indefinitely (the
+// DuT model queues frames in its driver backlog this way).
+func (f *Frame) Retain() { f.retained = true }
 
 // Endpoint consumes frames delivered by a link.
 type Endpoint interface {
 	// DeliverFrame is called when the first bit's receive timestamp
 	// instant is reached (arrival + demodulation); the frame is fully
 	// received serTime later. rxTime is the PHY-level timestamp
-	// instant including jitter.
+	// instant including jitter. The frame's Data is only valid during
+	// the call unless Frame.Retain is invoked.
 	DeliverFrame(f *Frame, rxTime sim.Time)
+}
+
+// delivery is one frame waiting in the link's in-flight FIFO.
+type delivery struct {
+	f  *Frame
+	at sim.Time
 }
 
 // Link is one direction of a full-duplex cable between two ports.
@@ -156,6 +176,23 @@ type Link struct {
 	busyUntil sim.Time // wire occupied until this instant (TX side)
 	seq       uint64
 
+	// jitterRNG is the link's private deterministic stream for PHY
+	// receive-timestamp jitter. Frame i's jitter depends only on i —
+	// not on how the MAC grouped transmissions into events — which is
+	// what makes batched and per-packet emission bit-identical.
+	jitterRNG *rand.Rand
+
+	// pending is the in-flight FIFO (a serial link preserves order).
+	// Exactly one delivery event is outstanding, for the head frame;
+	// deliverFn is the prebound callback so the steady state schedules
+	// deliveries without any closure allocation.
+	pending   ring.FIFO[delivery]
+	deliverFn func()
+	lastRx    sim.Time
+
+	// freeFrames recycles delivered frames (bounded; see release).
+	freeFrames []*Frame
+
 	// TxFrames / TxBytes count what was put on the wire.
 	TxFrames uint64
 	TxBytes  uint64
@@ -166,7 +203,9 @@ func NewLink(eng *sim.Engine, speed Speed, phy PHYProfile, lengthM float64, peer
 	if peer == nil {
 		panic("wire: nil peer")
 	}
-	return &Link{eng: eng, speed: speed, phy: phy, lengthM: lengthM, peer: peer}
+	l := &Link{eng: eng, speed: speed, phy: phy, lengthM: lengthM, peer: peer, jitterRNG: eng.NewRand()}
+	l.deliverFn = l.deliver
+	return l
 }
 
 // Speed returns the link speed.
@@ -192,20 +231,83 @@ func (l *Link) NextTxSlot() sim.Time {
 // the time the wire becomes free again. The receive side gets a
 // DeliverFrame callback at start-of-frame + path latency (+ jitter).
 func (l *Link) Transmit(f *Frame) sim.Time {
-	now := l.eng.Now()
-	if now < l.busyUntil {
-		panic(fmt.Sprintf("wire: transmit at %v while busy until %v", now, l.busyUntil))
+	return l.TransmitAt(f, l.eng.Now())
+}
+
+// TransmitAt puts a frame on the wire starting at the given instant,
+// which may be in the future: the MAC scheduler commits a whole burst
+// of departures in one event, each frame stamped on the exact
+// per-frame timing grid. start must be ≥ now and ≥ NextTxSlot.
+func (l *Link) TransmitAt(f *Frame, start sim.Time) sim.Time {
+	if start < l.eng.Now() {
+		panic(fmt.Sprintf("wire: transmit at past instant %v (now %v)", start, l.eng.Now()))
+	}
+	if start < l.busyUntil {
+		panic(fmt.Sprintf("wire: transmit at %v while busy until %v", start, l.busyUntil))
 	}
 	occupancy := sim.Duration(f.WireSize+proto.WireOverhead) * l.ByteTime()
-	l.busyUntil = now.Add(occupancy)
+	l.busyUntil = start.Add(occupancy)
 	l.seq++
 	f.SeqNo = l.seq
 	l.TxFrames++
 	l.TxBytes += uint64(f.WireSize)
 
-	rxTime := now.Add(sim.Duration(l.phy.PathLatency(l.lengthM))).Add(l.phy.Jitter(l.eng.Rand()))
-	l.eng.Schedule(rxTime, func() { l.peer.DeliverFrame(f, rxTime) })
+	rxTime := start.Add(sim.Duration(l.phy.PathLatency(l.lengthM))).Add(l.phy.Jitter(l.jitterRNG))
+	if rxTime < l.lastRx {
+		// A serial link cannot reorder: clamp pathological jitter draws
+		// (possible only for runt frames shorter than the jitter range).
+		rxTime = l.lastRx
+	}
+	l.lastRx = rxTime
+	l.push(f, rxTime)
 	return l.busyUntil
+}
+
+// AcquireFrame returns a recycled (or fresh) frame for transmission.
+// The MAC fills Data/WireSize/CRCOK and hands it to TransmitAt; the
+// link recycles it after delivery unless the consumer Retains it.
+func (l *Link) AcquireFrame() *Frame {
+	n := len(l.freeFrames)
+	if n == 0 {
+		return &Frame{}
+	}
+	f := l.freeFrames[n-1]
+	l.freeFrames[n-1] = nil
+	l.freeFrames = l.freeFrames[:n-1]
+	return f
+}
+
+// push appends to the in-flight FIFO and arms the head delivery event
+// when the FIFO was empty. rxTimes are monotonic (see TransmitAt), so a
+// single outstanding event per link suffices.
+func (l *Link) push(f *Frame, at sim.Time) {
+	if l.pending.Len() == 0 {
+		l.eng.Schedule(at, l.deliverFn)
+	}
+	l.pending.Push(delivery{f: f, at: at})
+}
+
+// deliver fires at the head frame's receive instant: it delivers every
+// due frame in FIFO order, recycles non-retained frames, and re-arms
+// itself for the next pending frame.
+func (l *Link) deliver() {
+	now := l.eng.Now()
+	for {
+		d, ok := l.pending.Peek()
+		if !ok {
+			return
+		}
+		if d.at > now {
+			l.eng.Schedule(d.at, l.deliverFn)
+			return
+		}
+		l.pending.Pop()
+		l.peer.DeliverFrame(d.f, d.at)
+		if !d.f.retained && len(l.freeFrames) < 1024 {
+			d.f.Data = d.f.Data[:0]
+			l.freeFrames = append(l.freeFrames, d.f)
+		}
+	}
 }
 
 // Utilization returns the fraction of wire time used so far.
