@@ -74,31 +74,18 @@ func runGoBench(path string) error {
 	if err != nil {
 		return err
 	}
-	doc := BenchBaseline{
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Command:    "go " + strings.Join(benchArgs, " "),
-		Benchmarks: results,
-	}
-	blob, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
-	return nil
+	return writeBaseline(path, results)
 }
 
-// txPathBenchmarks are the transmit-hot-path benchmarks the -check
-// gate guards: the ones the batched datapath is accountable for.
+// txPathBenchmarks are the datapath-hot-path benchmarks the -check
+// gate guards: the transmit side the batched datapath is accountable
+// for, plus the steady-state receive pipeline of the flow analysis
+// subsystem.
 var txPathBenchmarks = map[string]bool{
 	"BenchmarkTable1PacketIO":     true,
 	"BenchmarkSimulatedLineRate":  true,
 	"BenchmarkTxBurstSteadyState": true,
+	"BenchmarkRxBurstSteadyState": true,
 	"BenchmarkMulticoreScaling":   true,
 	"BenchmarkCRCGapScheduling":   true,
 }
@@ -122,10 +109,34 @@ const nsThreshold = 1.5
 // by timer granularity.
 const nsCheckFloor = 10e3 // ns/op
 
-// checkGoBench runs the benchmarks fresh and compares the TX-path
+// writeBaseline marshals results into the committed baseline format.
+func writeBaseline(path string, results []BenchResult) error {
+	doc := BenchBaseline{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Command:    "go " + strings.Join(benchArgs, " "),
+		Benchmarks: results,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+	return nil
+}
+
+// checkGoBench runs the benchmarks fresh and compares the datapath
 // subset against the committed baseline at path, failing on allocs/op
-// or catastrophic ns/op regressions.
-func checkGoBench(path string) error {
+// or catastrophic ns/op regressions. When outPath is non-empty the
+// fresh run is also written there in the baseline format, so CI can
+// upload it as an artifact for post-hoc triage with a single
+// benchmark run.
+func checkGoBench(path, outPath string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("benchtab: read baseline: %w", err)
@@ -141,6 +152,11 @@ func checkGoBench(path string) error {
 	fresh, err := runBenchResults()
 	if err != nil {
 		return err
+	}
+	if outPath != "" {
+		if err := writeBaseline(outPath, fresh); err != nil {
+			return err
+		}
 	}
 	var regressions []string
 	compared := 0

@@ -9,7 +9,7 @@
 //	          fig10|fig11]
 //	         [-full] [-seed 1]
 //	benchtab -gobench -out BENCH_baseline.json
-//	benchtab -gobench -check BENCH_baseline.json
+//	benchtab -gobench -check BENCH_baseline.json [-out fresh.json]
 //
 // -full switches from the fast test scale to sample counts approaching
 // the paper's (slower).
@@ -19,10 +19,11 @@
 // -bench` and either writes the parsed results — ns/op, allocations
 // and every custom metric — to the -out JSON file (committed as
 // BENCH_*.json to track the perf trajectory across PRs), or, with
-// -check, compares the fresh run's TX-path benchmarks against the
+// -check, compares the fresh run's datapath benchmarks against the
 // committed baseline and exits nonzero on a >25% allocs/op regression
 // (near-deterministic) or a catastrophic (>2.5x) ns/op slowdown — the
-// CI perf gate of the batched datapath.
+// CI perf gate of the batched datapath. -check plus -out additionally
+// writes the fresh run's JSON for artifact upload.
 package main
 
 import (
@@ -49,7 +50,9 @@ func main() {
 		var err error
 		switch {
 		case *check != "":
-			err = checkGoBench(*check)
+			// -out alongside -check writes the fresh run for artifact
+			// upload without a second benchmark pass.
+			err = checkGoBench(*check, *out)
 		case *out != "":
 			err = runGoBench(*out)
 		default:

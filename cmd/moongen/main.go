@@ -12,7 +12,8 @@
 //
 // Flags override the scenario's default spec: -rate (Mpps), -size
 // (bytes, without FCS), -runtime (ms), -seed, -pattern, -burst,
-// -probes, -samples, -steps, -dut, -cores (> 1 shards the scenario
+// -probes, -samples, -steps, -dut, -flows (size of the declared flow
+// set for flow-tracked scenarios), -cores (> 1 shards the scenario
 // across that many engines, one goroutine per modeled core, and
 // merges the per-shard reports).
 package main
@@ -63,6 +64,7 @@ func main() {
 		steps    = fs.Int("steps", spec.Steps, "sweep steps for sweeping scenarios")
 		useDuT   = fs.Bool("dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
 		cores    = fs.Int("cores", spec.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
+		flows    = fs.Int("flows", len(spec.Flows), "declared flow count (0 keeps the scenario's default flow set)")
 	)
 	_ = fs.Parse(os.Args[2:])
 
@@ -80,6 +82,18 @@ func main() {
 	spec.Steps = *steps
 	spec.UseDuT = *useDuT
 	spec.Cores = *cores
+	if *flows > 0 && *flows != len(spec.Flows) {
+		// Resizing is only meaningful for scenarios whose default flow
+		// set is the generic FlowSet; curated flow sets (qos's shaped
+		// EF/BE pair) carry per-flow rates and marks a generic
+		// replacement would silently zero out, and scenarios declaring
+		// no flows never consume a flow count.
+		if !isGenericFlowSet(spec.Flows) {
+			fmt.Fprintf(os.Stderr, "scenario %s does not take a flow count; -flows only applies to flow-tracked scenarios\n", name)
+			os.Exit(2)
+		}
+		spec.Flows = scenario.FlowSet(*flows)
+	}
 
 	rep, err := scenario.Execute(name, spec, os.Stdout)
 	if err != nil {
@@ -87,6 +101,23 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Print(os.Stdout)
+}
+
+// isGenericFlowSet reports whether flows is exactly the generic
+// scenario.FlowSet shape — the only kind -flows may resize. Scenarios
+// declaring no flows (they run the implicit DefaultFlow) or a curated
+// set are rejected: resizing would silently change their traffic.
+func isGenericFlowSet(flows []scenario.Flow) bool {
+	if len(flows) == 0 {
+		return false
+	}
+	want := scenario.FlowSet(len(flows))
+	for i := range flows {
+		if flows[i] != want[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // runList prints the sorted scenario listing with one-line

@@ -35,4 +35,21 @@ func TestListDeterministicSortedDescribed(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("scenarios not sorted: %v", names)
 	}
+	// The pinned scenario set: every workload the CLI must expose. New
+	// scenarios are added here deliberately, never by accident.
+	want := []string{
+		"bursts", "cbr", "flood", "imix",
+		"interarrival-moongen", "interarrival-pktgen", "interarrival-zsend",
+		"latency", "loss-overload", "poisson", "qos", "reflect", "reorder",
+		"softcbr", "timestamps",
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("pinned scenario %q missing from list output (have %v)", n, names)
+		}
+	}
 }

@@ -1,0 +1,163 @@
+// Golden-run gate: a reduced-scale slice of the paper experiments and
+// the flow-tracked scenarios is rendered to canonical CSV artifacts
+// and diffed byte-for-byte against the committed files under
+// testdata/golden/. Everything rendered here is a deterministic
+// function of the seed, so any drift — a model change, a statistics
+// regression, an accidental reordering — fails CI with a readable
+// diff instead of slipping through as a silent number shift.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestExperimentsGolden -short . -update
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden artifacts instead of diffing")
+
+// tableCSV renders an experiments.Table canonically.
+func tableCSV(w io.Writer, tb *experiments.Table) {
+	fmt.Fprintf(w, "title,%s\n", tb.Title)
+	fmt.Fprintf(w, "columns,%s\n", strings.Join(tb.Columns, ","))
+	for _, r := range tb.Rows {
+		fmt.Fprintf(w, "row,%s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, ",%g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range tb.Notes {
+		fmt.Fprintf(w, "note,%s\n", n)
+	}
+}
+
+// reportCSV renders a scenario.Report canonically: the counter
+// baseline, per-flow slices with the sequence verdicts, result rows
+// and notes. Latency histograms are reduced to count and quartiles.
+func reportCSV(w io.Writer, rep *scenario.Report) {
+	fmt.Fprintf(w, "scenario,%s\n", rep.Scenario)
+	fmt.Fprintf(w, "window_ms,%g\n", rep.Window.Seconds()*1e3)
+	fmt.Fprintf(w, "counters,tx=%d,txbytes=%d,rx=%d,rxbytes=%d,crc=%d,missed=%d\n",
+		rep.TxPackets, rep.TxBytes, rep.RxPackets, rep.RxBytes, rep.RxCRCErrors, rep.RxMissed)
+	for _, f := range rep.Flows {
+		fmt.Fprintf(w, "flow,%s,tx=%d,rx=%d,lost=%d,reordered=%d,dup=%d",
+			f.Name, f.TxPackets, f.RxPackets, f.Lost, f.Reordered, f.Duplicates)
+		if f.Latency != nil && f.Latency.Count() > 0 {
+			q1, q2, q3 := f.Latency.Quartiles()
+			fmt.Fprintf(w, ",latn=%d,q=%g/%g/%g", f.Latency.Count(),
+				q1.Nanoseconds(), q2.Nanoseconds(), q3.Nanoseconds())
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range rep.Rows {
+		fmt.Fprintf(w, "row,%s,%g,%s\n", row.Label, row.Value, row.Unit)
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(w, "note,%s\n", n)
+	}
+}
+
+// goldenCompare diffs got against testdata/golden/<name> (or rewrites
+// the file with -update).
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden artifact (run `go test -run TestExperimentsGolden -short . -update`): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	// Point at the first divergent line for a readable failure.
+	wl, gl := strings.Split(string(want), "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var a, b string
+		if i < len(wl) {
+			a = wl[i]
+		}
+		if i < len(gl) {
+			b = gl[i]
+		}
+		if a != b {
+			t.Fatalf("%s: line %d differs\n golden: %q\n  fresh: %q\n(regenerate with -update if intentional)", name, i+1, a, b)
+		}
+	}
+	t.Fatalf("%s differs from golden (run with -update if intentional)", name)
+}
+
+// runGoldenScenario executes a flow-tracked scenario at the canonical
+// golden configuration (10 ms, seed 5, two sharded cores so the merge
+// path is inside the gate).
+func runGoldenScenario(t *testing.T, name string) *scenario.Report {
+	t.Helper()
+	sc, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	spec := sc.DefaultSpec()
+	spec.Runtime = 10 * sim.Millisecond
+	spec.Seed = 5
+	spec.Cores = 2
+	rep, err := scenario.Execute(name, spec, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestExperimentsGolden is the CI golden-run job's entry point
+// (`go test -run TestExperiments -short`).
+func TestExperimentsGolden(t *testing.T) {
+	t.Run("table1", func(t *testing.T) {
+		var b strings.Builder
+		tableCSV(&b, experiments.RunTable1())
+		goldenCompare(t, "table1.csv", b.String())
+	})
+	t.Run("table2", func(t *testing.T) {
+		var b strings.Builder
+		tableCSV(&b, experiments.RunTable2())
+		goldenCompare(t, "table2.csv", b.String())
+	})
+	t.Run("fig2", func(t *testing.T) {
+		var b strings.Builder
+		tableCSV(&b, &experiments.RunFig2(experiments.ScaleTest, 2).Table)
+		goldenCompare(t, "fig2.csv", b.String())
+	})
+	t.Run("table4", func(t *testing.T) {
+		var b strings.Builder
+		tableCSV(&b, &experiments.RunTable4(experiments.ScaleTest, 10).Table)
+		goldenCompare(t, "table4.csv", b.String())
+	})
+	t.Run("loss-overload", func(t *testing.T) {
+		var b strings.Builder
+		reportCSV(&b, runGoldenScenario(t, "loss-overload"))
+		goldenCompare(t, "loss_overload.csv", b.String())
+	})
+	t.Run("reorder", func(t *testing.T) {
+		var b strings.Builder
+		reportCSV(&b, runGoldenScenario(t, "reorder"))
+		goldenCompare(t, "reorder.csv", b.String())
+	})
+}

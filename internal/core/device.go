@@ -27,6 +27,9 @@ type DeviceConfig struct {
 	TxRing int
 	// RxPool overrides the receive pool size.
 	RxPool int
+	// RxTrain overrides the receive write-back train (1 = per-packet
+	// publication; default nic.DefaultRxTrain).
+	RxTrain int
 }
 
 // ConfigDevice creates and configures a device on the app's testbed.
@@ -39,6 +42,7 @@ func (a *App) ConfigDevice(cfg DeviceConfig) *Device {
 		RxRingSize:    cfg.RxRing,
 		TxRingSize:    cfg.TxRing,
 		RxPoolSize:    cfg.RxPool,
+		RxTrain:       cfg.RxTrain,
 		ClockDriftPPM: cfg.DriftPPM,
 	})
 	return &Device{Port: port}

@@ -132,15 +132,23 @@ func (ts *Timestamper) Probe(t *Task) (lat sim.Duration, ok bool) {
 // granularity and phase-locks against periodic load.
 func (ts *Timestamper) MeasureLatency(t *Task, count int, interval sim.Duration) *stats.Histogram {
 	h := stats.NewHistogram(sim.Nanosecond)
+	ts.MeasureLatencyInto(t, count, interval, h.Add)
+	return h
+}
+
+// MeasureLatencyInto is MeasureLatency with the caller supplying the
+// sample sink — the entry point for recording probe latencies into the
+// receiver-side flow pipeline (flow.Stats.AddLatency) instead of a
+// private histogram. There is exactly one copy of the probe loop.
+func (ts *Timestamper) MeasureLatencyInto(t *Task, count int, interval sim.Duration, record func(sim.Duration)) {
 	rng := t.Engine().Rand()
 	for i := 0; i < count && t.Running(); i++ {
 		if lat, ok := ts.Probe(t); ok {
-			h.Add(lat)
+			record(lat)
 		}
 		if interval > 0 {
 			dither := sim.Duration(rng.Int63n(int64(8 * sim.Microsecond)))
 			t.Sleep(interval + dither)
 		}
 	}
-	return h
 }

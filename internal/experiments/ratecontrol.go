@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/flow"
 	"repro/internal/mempool"
 	"repro/internal/nic"
 	"repro/internal/proto"
@@ -197,11 +198,27 @@ func (b *dutBed) launchLoad(method RateControlMethod, pattern rate.Pattern, pps 
 	}
 }
 
-// measureLatency runs probes through the DuT and returns the histogram.
-// Probes are spread across the window after warmup (≤ 0 selects the
-// default 5% ramp-up allowance).
-func (b *dutBed) measureLatency(probes int, window, warmup sim.Duration) *stats.Histogram {
-	var h *stats.Histogram
+// probeKey identifies the hardware-timestamped probe stream in the
+// receiver-side flow pipeline: the UDP PTP 5-tuple the Timestamper's
+// probes would carry.
+var probeKey = flow.Key{
+	Proto: proto.IPProtoUDP,
+	Src:   proto.MustIPv4("10.255.0.1"), Dst: proto.MustIPv4("10.255.0.2"),
+	SrcPort: proto.PTPUDPPort, DstPort: proto.PTPUDPPort,
+}
+
+// measureLatency runs probes through the DuT and records each
+// hardware-timestamped latency into a per-flow flow.Stats record
+// keyed as the probe stream — the latency figures draw their
+// percentiles from the flow layer's per-flow statistics (the same
+// record type the loss/reorder scenarios report through) instead of a
+// private ad-hoc histogram. The probe latencies arrive from the
+// timestamp latches, not from payload stamps, so they are fed in via
+// AddLatency rather than through a tracker's Record path. Probes are
+// spread across the window after warmup (≤ 0 selects the default 5%
+// ramp-up allowance).
+func (b *dutBed) measureLatency(probes int, window, warmup sim.Duration) *flow.Stats {
+	fs := &flow.Stats{Key: probeKey}
 	if warmup <= 0 {
 		warmup = window / 20
 	}
@@ -215,10 +232,10 @@ func (b *dutBed) measureLatency(probes int, window, warmup sim.Duration) *stats.
 	b.App.LaunchTask("timestamping", func(t *core.Task) {
 		// Let the load ramp up before probing.
 		t.Sleep(warmup)
-		h = b.TS.MeasureLatency(t, probes, pace)
+		b.TS.MeasureLatencyInto(t, probes, pace, fs.AddLatency)
 	})
 	b.App.RunFor(window)
-	return h
+	return fs
 }
 
 // Fig7Result is interrupt rate versus offered load per generator.

@@ -80,6 +80,11 @@ type RxMeta struct {
 	HasTimestamp bool
 	// Queue is the receive queue the packet was steered to.
 	Queue int
+	// Arrival is the frame's PHY-level receive instant in simulation
+	// time (picoseconds) — the per-descriptor arrival record the
+	// receiver-side flow analysis computes inter-arrival times and
+	// stamped latencies from.
+	Arrival int64
 }
 
 // Reset clears per-packet state before reuse. Buffer contents are

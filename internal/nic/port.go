@@ -41,7 +41,12 @@ type Port struct {
 	rxQueues []*RxQueue
 	link     *wire.Link // outgoing side
 
-	rxPool *mempool.Pool
+	// rxPool backs the receive buffers; rxCache is the port's
+	// allocation front over it, so the steady-state receive path takes
+	// the pool lock once per half-cache refill instead of per packet —
+	// the RX mirror of the per-core transmit caches.
+	rxPool  *mempool.Pool
+	rxCache *mempool.Cache
 
 	stats Stats
 
@@ -114,6 +119,11 @@ type PortConfig struct {
 	// event on the batched fast path (default DefaultTxTrain; 1
 	// reproduces the per-packet scheduler event for event).
 	TxTrain int
+	// RxTrain is the receive write-back train: how many validated
+	// frames are staged per queue before one burst publication to the
+	// descriptor ring (default DefaultRxTrain; 1 reproduces per-packet
+	// publication).
+	RxTrain int
 	// ClockDriftPPM desynchronizes this port's PTP clock rate.
 	ClockDriftPPM float64
 	// ClockOffset desynchronizes this port's PTP clock phase.
@@ -170,13 +180,14 @@ func NewPort(eng *sim.Engine, cfg PortConfig) *Port {
 	if p.txTrain <= 0 {
 		p.txTrain = DefaultTxTrain
 	}
+	p.rxCache = p.rxPool.NewCache(0)
 	p.pumpFn = p.pumpEvent
 	p.completeFn = p.completeTx
 	for i := 0; i < cfg.TxQueues; i++ {
 		p.txQueues = append(p.txQueues, newTxQueue(p, i, cfg.TxRingSize))
 	}
 	for i := 0; i < cfg.RxQueues; i++ {
-		p.rxQueues = append(p.rxQueues, newRxQueue(p, i, cfg.RxRingSize))
+		p.rxQueues = append(p.rxQueues, newRxQueue(p, i, cfg.RxRingSize, cfg.RxTrain))
 	}
 	return p
 }
@@ -225,6 +236,26 @@ func (p *Port) NumRxQueues() int { return len(p.rxQueues) }
 
 // RxPool returns the port's receive mempool (exposed for tests).
 func (p *Port) RxPool() *mempool.Pool { return p.rxPool }
+
+// RxBufArray returns a burst wrapper for draining this port's receive
+// queues: its FreeAll recycles buffers through the port's receive
+// cache, so a drain loop returns a whole burst under at most one pool
+// lock — the counterpart of the transmit loops' cache-bound arrays.
+// Size <= 0 selects the default batch size.
+func (p *Port) RxBufArray(size int) *mempool.BufArray {
+	return p.rxCache.BufArray(size)
+}
+
+// RecycleRx returns a batch of receive buffers through the port's
+// receive cache (the non-BufArray drain idiom).
+func (p *Port) RecycleRx(bufs []*mempool.Mbuf) {
+	for i, m := range bufs {
+		if m != nil {
+			p.rxCache.Put(m)
+			bufs[i] = nil
+		}
+	}
+}
 
 // GetStats returns a snapshot of the statistics registers.
 func (p *Port) GetStats() Stats { return p.stats }
@@ -375,25 +406,30 @@ func (p *Port) DeliverFrame(f *wire.Frame, rxTime sim.Time) {
 		return
 	}
 
-	// 3. Steer into a receive queue, drop (missed) when full.
+	// 3. Steer into a receive queue, drop (missed) when pool or ring is
+	// full. Buffers come from the port's receive cache (one pool lock
+	// per refill) and are published to the ring in write-back trains
+	// (one producer-index store per RxTrain frames) — the batched RX
+	// datapath mirroring the MAC scheduler's transmit trains.
 	q := p.rxQueues[p.rssQueue(f.Data)]
-	m := p.rxPool.Alloc(len(f.Data))
+	m := p.rxCache.Alloc(len(f.Data))
 	if m == nil {
+		q.missed.Add(1)
 		p.stats.RxMissed++
 		return
 	}
 	copy(m.Data, f.Data)
 	m.RxMeta.Queue = q.id
+	// Arrival is the PHY-level receive instant every descriptor carries
+	// out of band — what a busy-polling driver derives its software
+	// receive timestamps from. The flow layer computes inter-arrival
+	// and stamped latencies from it, independent of the poll cadence.
+	m.RxMeta.Arrival = int64(rxTime)
 	if p.profile.TimestampAllRx {
 		// 82580: hardware timestamps every packet (§6), quantized to
 		// the chip's 64 ns granularity.
 		m.RxMeta.Timestamp = int64(p.Clock.TimestampAt(rxTime))
 		m.RxMeta.HasTimestamp = true
 	}
-	if q.ring.EnqueueOne(m) {
-		q.received++
-	} else {
-		m.Free()
-		p.stats.RxMissed++
-	}
+	q.deliver(m)
 }

@@ -1,0 +1,64 @@
+package ring
+
+// Burst is a producer-side staging buffer over an SPSC ring: items are
+// accumulated in a fixed-size stage and published with a single
+// producer-index store per flush — the receive-side mirror of the
+// transmit path's one-lock-per-refill batching. It models a NIC's
+// batched descriptor write-back: completed buffers become visible to
+// the consumer in trains, not one at a time.
+//
+// A Burst belongs to the ring's single producer. Items that do not fit
+// the ring at flush time are handed to the reject callback (the
+// caller's drop accounting); the steady state allocates nothing.
+type Burst[T any] struct {
+	ring   *SPSC[T]
+	stage  []T
+	n      int
+	reject func(T)
+}
+
+// NewBurst creates a staging buffer of the given size over the ring.
+// reject receives items the ring had no room for at flush time; it may
+// be nil when overflow is impossible by construction.
+func (r *SPSC[T]) NewBurst(size int, reject func(T)) *Burst[T] {
+	if size <= 0 {
+		size = 1
+	}
+	return &Burst[T]{ring: r, stage: make([]T, size), reject: reject}
+}
+
+// Pending returns the number of staged, not yet published items.
+func (b *Burst[T]) Pending() int { return b.n }
+
+// Push stages one item, flushing automatically when the stage is full.
+// It returns the number of items published to the ring (0 unless a
+// flush happened).
+func (b *Burst[T]) Push(v T) int {
+	b.stage[b.n] = v
+	b.n++
+	if b.n == len(b.stage) {
+		return b.Flush()
+	}
+	return 0
+}
+
+// Flush publishes every staged item under one producer-index store and
+// returns how many the ring accepted; the overflow goes to the reject
+// callback. Idempotent when nothing is staged.
+func (b *Burst[T]) Flush() int {
+	if b.n == 0 {
+		return 0
+	}
+	k := b.ring.EnqueueBurst(b.stage[:b.n])
+	for i := k; i < b.n; i++ {
+		if b.reject != nil {
+			b.reject(b.stage[i])
+		}
+	}
+	var zero T
+	for i := 0; i < b.n; i++ {
+		b.stage[i] = zero
+	}
+	b.n = 0
+	return k
+}

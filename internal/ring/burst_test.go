@@ -1,0 +1,57 @@
+package ring
+
+import "testing"
+
+// TestBurstStagedPublication: items stage without becoming visible,
+// publish together on Flush or when the stage fills, and overflow at
+// flush time goes to the reject callback in order.
+func TestBurstStagedPublication(t *testing.T) {
+	r := NewSPSC[int](8)
+	var rejected []int
+	b := r.NewBurst(4, func(v int) { rejected = append(rejected, v) })
+
+	if n := b.Push(1); n != 0 || r.Len() != 0 {
+		t.Fatalf("staged item visible early: published %d, len %d", n, r.Len())
+	}
+	b.Push(2)
+	b.Push(3)
+	if n := b.Push(4); n != 4 {
+		t.Fatalf("full stage auto-flushed %d items, want 4", n)
+	}
+	if r.Len() != 4 || b.Pending() != 0 {
+		t.Fatalf("after auto-flush: len %d pending %d", r.Len(), b.Pending())
+	}
+
+	b.Push(5)
+	if n := b.Flush(); n != 1 || r.Len() != 5 {
+		t.Fatalf("manual flush published %d (len %d), want 1 (5)", n, r.Len())
+	}
+	if n := b.Flush(); n != 0 {
+		t.Fatalf("empty flush published %d", n)
+	}
+
+	// Fill the ring to capacity, then overflow a stage: the overflow is
+	// rejected in push order.
+	for i := 6; ; i++ {
+		if !r.EnqueueOne(i) {
+			break
+		}
+	}
+	b.Push(100)
+	b.Push(101)
+	if n := b.Flush(); n != 0 {
+		t.Fatalf("flush into full ring published %d", n)
+	}
+	if len(rejected) != 2 || rejected[0] != 100 || rejected[1] != 101 {
+		t.Fatalf("rejected = %v, want [100 101]", rejected)
+	}
+
+	// Dequeued order is FIFO across staged publications.
+	out := make([]int, 8)
+	n := r.DequeueBurst(out)
+	for i := 0; i < 5; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("dequeue order %v", out[:n])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/flow"
 	"repro/internal/mempool"
 	"repro/internal/nic"
 	"repro/internal/proto"
@@ -176,6 +177,18 @@ func (e *Env) DrainRx() {
 		}
 		ctr.Finalize(t.Now())
 	})
+}
+
+// LaunchFlowSink starts the receiver-side flow analysis task on the
+// sink's first receive queue: every received frame is attributed to
+// its flow in tr (sequence tracking, inter-arrival and stamped-latency
+// statistics) through the batched RX datapath. Scenarios that call it
+// must not also call DrainRx.
+func (e *Env) LaunchFlowSink(tr *flow.Tracker) *core.FlowSink {
+	e.build()
+	s := &core.FlowSink{Queue: e.rx.GetRxQueue(0), Tracker: tr, Batch: e.Spec.Batch}
+	e.app.LaunchTask("flow-sink", s.Run)
+	return s
 }
 
 // NewCounter creates a throughput counter that streams per-window

@@ -1,0 +1,139 @@
+package scenario_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// flowFingerprint reduces a report to the per-flow counters the
+// invariance property is stated over: transmit/receive counts and the
+// sequence verdicts. Latency and inter-arrival distributions are
+// excluded deliberately — wire timing legitimately differs between one
+// shared wire and k private ones; the flow *accounting* must not.
+func flowFingerprint(r *scenario.Report) string {
+	s := ""
+	for _, f := range r.Flows {
+		s += fmt.Sprintf("%s:tx=%d,rx=%d,lost=%d,reord=%d,dup=%d;",
+			f.Name, f.TxPackets, f.RxPackets, f.Lost, f.Reordered, f.Duplicates)
+	}
+	return s
+}
+
+func runFlowScenario(t *testing.T, name string, cores, batch int) *scenario.Report {
+	t.Helper()
+	sc, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	spec := sc.DefaultSpec()
+	spec.Runtime = 10 * sim.Millisecond
+	spec.Seed = 5
+	spec.Cores = cores
+	spec.Batch = batch
+	rep, err := scenario.Execute(name, spec, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLossOverloadInvariantAcrossCoresAndBatch is the acceptance pin
+// of the RX analysis subsystem: the loss-overload scenario reports
+// nonzero, deterministic per-flow loss at >line-rate offered load, and
+// the per-flow counts are identical across Cores 1 vs 4 and Batch 1 vs
+// 32 — the receive-side mirror of PR 3's TX batch invariance.
+func TestLossOverloadInvariantAcrossCoresAndBatch(t *testing.T) {
+	base := runFlowScenario(t, "loss-overload", 1, 32)
+	if len(base.Flows) != 4 {
+		t.Fatalf("expected 4 flows, got %d", len(base.Flows))
+	}
+	for _, f := range base.Flows {
+		if f.Lost == 0 {
+			t.Errorf("flow %s: loss = 0, want nonzero at >line-rate offered load", f.Name)
+		}
+		if f.RxPackets == 0 || f.RxPackets != f.TxPackets {
+			t.Errorf("flow %s: rx %d of tx %d (admitted packets must all arrive)",
+				f.Name, f.RxPackets, f.TxPackets)
+		}
+	}
+	want := flowFingerprint(base)
+	for _, cfg := range []struct{ cores, batch int }{
+		{1, 1}, {4, 32}, {4, 1}, {2, 32},
+	} {
+		got := flowFingerprint(runFlowScenario(t, "loss-overload", cfg.cores, cfg.batch))
+		if got != want {
+			t.Errorf("cores=%d batch=%d: per-flow counts differ\n want %s\n  got %s",
+				cfg.cores, cfg.batch, want, got)
+		}
+	}
+}
+
+// TestReorderInvariantAcrossCoresAndBatch: the reorder scenario's
+// per-flow reorder and duplicate counts are likewise nonzero and
+// invariant in Cores and Batch.
+func TestReorderInvariantAcrossCoresAndBatch(t *testing.T) {
+	base := runFlowScenario(t, "reorder", 1, 32)
+	for _, f := range base.Flows {
+		if f.Reordered == 0 || f.Duplicates == 0 {
+			t.Errorf("flow %s: reordered=%d dup=%d, want both nonzero", f.Name, f.Reordered, f.Duplicates)
+		}
+		if f.Lost != 0 {
+			t.Errorf("flow %s: lost=%d, want 0 (every displaced packet arrives)", f.Name, f.Lost)
+		}
+	}
+	want := flowFingerprint(base)
+	for _, cfg := range []struct{ cores, batch int }{
+		{1, 1}, {4, 32}, {4, 1},
+	} {
+		got := flowFingerprint(runFlowScenario(t, "reorder", cfg.cores, cfg.batch))
+		if got != want {
+			t.Errorf("cores=%d batch=%d: per-flow counts differ\n want %s\n  got %s",
+				cfg.cores, cfg.batch, want, got)
+		}
+	}
+}
+
+// TestFlowScenarioRejectsUnevenSharding: a core count that does not
+// divide the flow count would split a flow across shards and break the
+// merge contract; the scenario must refuse instead of reporting wrong
+// numbers.
+func TestFlowScenarioRejectsUnevenSharding(t *testing.T) {
+	sc, _ := scenario.Get("loss-overload")
+	spec := sc.DefaultSpec()
+	spec.Runtime = sim.Millisecond
+	spec.Cores = 3 // 4 flows
+	if _, err := scenario.Execute("loss-overload", spec, io.Discard); err == nil {
+		t.Fatal("cores=3 with 4 flows did not error")
+	}
+}
+
+// TestLossOverloadPinned pins the headline numbers of the canonical
+// 10 ms seed-5 run: the admitted fraction of a 20 Mpps offered grid
+// against the 14.88 Mpps 64-byte line rate, attributed per flow. Any
+// change to the grid arithmetic, the admission model or the RX
+// attribution path moves these.
+func TestLossOverloadPinned(t *testing.T) {
+	rep := runFlowScenario(t, "loss-overload", 1, 32)
+	var tx, lost uint64
+	for _, f := range rep.Flows {
+		tx += f.TxPackets
+		lost += f.Lost
+	}
+	total := tx + lost
+	if total == 0 {
+		t.Fatal("no packets")
+	}
+	frac := float64(lost) / float64(total)
+	// Offered 20 Mpps, capacity 14.88 Mpps: loss fraction 1-14.88/20 ≈ 25.6%.
+	if frac < 0.24 || frac < 0.01 || frac > 0.27 {
+		t.Errorf("loss fraction = %.4f, want ≈ 0.256", frac)
+	}
+	if rep.RxMissed != 0 || rep.RxCRCErrors != 0 {
+		t.Errorf("sink dropped frames (missed %d, crc %d): the admission gate should be the only loss",
+			rep.RxMissed, rep.RxCRCErrors)
+	}
+}

@@ -131,6 +131,14 @@ type Spec struct {
 	// shard grids compose to the single-core grid exactly even at
 	// rates whose period is not an integer number of picoseconds.
 	TxInterval sim.Duration
+	// ShardIndex/ShardCount identify this spec's slice of a sharded
+	// run (set by ShardSpec; 0/1 for unsharded runs). Grid-based
+	// scenarios use them to recover the global slot index — shard i of
+	// k owns slots j ≡ i (mod k) — so decisions stated per global slot
+	// (overload admission, flow assignment) are identical at any core
+	// count.
+	ShardIndex int
+	ShardCount int
 	// UseDuT routes traffic through the simulated Open vSwitch
 	// forwarder (generator → DuT → sink) instead of a direct cable.
 	UseDuT bool
@@ -158,6 +166,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Cores < 1 {
 		s.Cores = 1
+	}
+	if s.ShardCount < 1 {
+		s.ShardCount = 1
 	}
 	return s
 }
@@ -219,6 +230,12 @@ type FlowReport struct {
 	Name      string
 	TxPackets uint64
 	RxPackets uint64
+	// Lost / Reordered / Duplicates are the receiver-side sequence
+	// verdicts from the flow tracker (zero when the scenario does not
+	// track sequences).
+	Lost       uint64
+	Reordered  uint64
+	Duplicates uint64
 	// Latency holds the flow's probe histogram when measured.
 	Latency *stats.Histogram
 }
@@ -273,6 +290,9 @@ func (r *Report) Print(w io.Writer) {
 	}
 	for _, f := range r.Flows {
 		fmt.Fprintf(w, "  flow %-8s tx %d rx %d", f.Name, f.TxPackets, f.RxPackets)
+		if f.Lost != 0 || f.Reordered != 0 || f.Duplicates != 0 {
+			fmt.Fprintf(w, " lost %d reordered %d dup %d", f.Lost, f.Reordered, f.Duplicates)
+		}
 		if f.Latency != nil && f.Latency.Count() > 0 {
 			q1, q2, q3 := f.Latency.Quartiles()
 			fmt.Fprintf(w, "  latency quartiles %.1f / %.1f / %.1f µs (%d probes)",

@@ -44,6 +44,9 @@ func fingerprint(r *scenario.Report) string {
 	}
 	for _, f := range r.Flows {
 		fmt.Fprintf(&b, " flow[%s]=%d/%d", f.Name, f.TxPackets, f.RxPackets)
+		if f.Lost != 0 || f.Reordered != 0 || f.Duplicates != 0 {
+			fmt.Fprintf(&b, " lost=%d reord=%d dup=%d", f.Lost, f.Reordered, f.Duplicates)
+		}
 		if f.Latency != nil {
 			fmt.Fprintf(&b, "/%d", f.Latency.Count())
 		}

@@ -32,6 +32,8 @@ func share(total, i, k int) int {
 func (s Spec) ShardSpec(i, k int) Spec {
 	out := s
 	out.Cores = 1
+	out.ShardIndex = i
+	out.ShardCount = k
 	out.Seed = multicore.ShardSeed(s.Seed, i)
 	out.RateMpps = s.RateMpps / float64(k)
 	// Interleave CBR shards onto the single-queue emission grid: shard
@@ -133,6 +135,9 @@ func MergeReports(reps []*Report) *Report {
 			}
 			out.Flows[i].TxPackets += f.TxPackets
 			out.Flows[i].RxPackets += f.RxPackets
+			out.Flows[i].Lost += f.Lost
+			out.Flows[i].Reordered += f.Reordered
+			out.Flows[i].Duplicates += f.Duplicates
 			if f.Latency != nil && f.Latency.Count() > 0 {
 				if out.Flows[i].Latency == nil {
 					out.Flows[i].Latency = stats.NewHistogram(f.Latency.BinWidth)
