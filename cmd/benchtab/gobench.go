@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -36,58 +37,133 @@ type BenchBaseline struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
-// benchArgs is the fixed benchmark invocation: one iteration per
-// benchmark keeps the baseline quick while the figure benchmarks still
-// report their deterministic headline metrics.
-var benchArgs = []string{"test", "-run", "NONE", "-bench", ".", "-benchmem", "-benchtime", "1x", "."}
-
-// runBenchResults runs the top-level benchmarks and returns the parsed
-// results.
-func runBenchResults() ([]BenchResult, error) {
-	cmd := exec.Command("go", benchArgs...)
-	// The benchmarks live in the module root's bench_test.go; resolve
-	// it so -gobench works from any working directory.
-	if root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output(); err == nil {
-		if dir := strings.TrimSpace(string(root)); dir != "" {
-			cmd.Dir = dir
-		}
-	}
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return nil, fmt.Errorf("benchtab: go %s: %w", strings.Join(benchArgs, " "), err)
-	}
-	results, err := parseGoBench(bytes.NewReader(out))
-	if err != nil {
-		return nil, err
-	}
-	if len(results) == 0 {
-		return nil, fmt.Errorf("benchtab: no benchmark lines in go test output")
-	}
-	return results, nil
+// benchPass is one `go test -bench` invocation. The baseline is built
+// from several: the figure benchmarks run once (they simulate whole
+// experiments and report deterministic headline metrics), while
+// sub-millisecond micro benchmarks run at -benchtime 100x — at one
+// iteration their ns/op is timer-granularity noise, which is exactly
+// the kind of phantom regression a perf gate must not alert on. Later
+// passes override same-name results from earlier ones, and the
+// recorded iteration counts distinguish the two regimes in the JSON.
+type benchPass struct {
+	name      string
+	pkg       string // package path relative to the module root
+	benchRE   string
+	benchtime string
 }
 
-// runGoBench runs the top-level benchmarks and writes the parsed
-// baseline to path.
-func runGoBench(path string) error {
-	results, err := runBenchResults()
+var benchPasses = []benchPass{
+	{name: "figures", pkg: ".", benchRE: ".", benchtime: "1x"},
+	{name: "micro", pkg: ".",
+		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
+		benchtime: "100x"},
+	{name: "engine", pkg: "./internal/sim", benchRE: "^BenchmarkEngine", benchtime: "100x"},
+}
+
+// benchCommand is the recorded description of the invocation set.
+const benchCommand = "go test -run NONE -bench <pass> -benchmem -benchtime {1x figures, 100x micro+engine}"
+
+// args builds the go test argument list. Profile paths, when set, get
+// the pass name appended so the passes do not overwrite each other.
+func (p benchPass) args(cpuProfile, memProfile string) []string {
+	a := []string{"test", "-run", "NONE", "-bench", p.benchRE, "-benchmem", "-benchtime", p.benchtime}
+	if cpuProfile != "" {
+		a = append(a, "-cpuprofile", profilePath(cpuProfile, p.name))
+	}
+	if memProfile != "" {
+		a = append(a, "-memprofile", profilePath(memProfile, p.name))
+	}
+	if cpuProfile != "" || memProfile != "" {
+		// Profiling keeps the test binary around; park it in the temp
+		// dir instead of the repository.
+		a = append(a, "-o", filepath.Join(os.TempDir(), "benchtab-"+p.name+".test"))
+	}
+	return append(a, p.pkg)
+}
+
+// profilePath appends the pass name to a profile file path.
+func profilePath(base, pass string) string { return base + "." + pass }
+
+// runBenchResults runs the benchmark passes and returns the merged
+// parsed results. With profiling enabled, each pass writes
+// <path>.<pass> cpu/heap profiles for `go tool pprof` — the same
+// binary the CI gate runs doubles as the diagnosis tool.
+func runBenchResults(cpuProfile, memProfile string) ([]BenchResult, error) {
+	// The benchmarks live in the module; resolve its root so -gobench
+	// works from any working directory.
+	moduleRoot := ""
+	if root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output(); err == nil {
+		moduleRoot = strings.TrimSpace(string(root))
+	}
+	// go test resolves relative profile paths against its own working
+	// directory (the module root below) — anchor them to the caller's
+	// cwd so they land where -out does.
+	if abs, err := filepath.Abs(cpuProfile); cpuProfile != "" && err == nil {
+		cpuProfile = abs
+	}
+	if abs, err := filepath.Abs(memProfile); memProfile != "" && err == nil {
+		memProfile = abs
+	}
+	var merged []BenchResult
+	index := map[string]int{}
+	for _, pass := range benchPasses {
+		args := pass.args(cpuProfile, memProfile)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleRoot
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: go %s: %w", strings.Join(args, " "), err)
+		}
+		results, err := parseGoBench(bytes.NewReader(out))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if i, ok := index[r.Name]; ok {
+				merged[i] = r // later (longer-benchtime) pass wins
+				continue
+			}
+			index[r.Name] = len(merged)
+			merged = append(merged, r)
+		}
+		if cpuProfile != "" {
+			fmt.Printf("pass %s: cpu profile %s\n", pass.name, profilePath(cpuProfile, pass.name))
+		}
+		if memProfile != "" {
+			fmt.Printf("pass %s: mem profile %s\n", pass.name, profilePath(memProfile, pass.name))
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("benchtab: no benchmark lines in go test output")
+	}
+	return merged, nil
+}
+
+// runGoBench runs the benchmark passes and writes the parsed baseline
+// to path.
+func runGoBench(path, cpuProfile, memProfile string) error {
+	results, err := runBenchResults(cpuProfile, memProfile)
 	if err != nil {
 		return err
 	}
 	return writeBaseline(path, results)
 }
 
-// txPathBenchmarks are the datapath-hot-path benchmarks the -check
-// gate guards: the transmit side the batched datapath is accountable
-// for, plus the steady-state receive pipeline of the flow analysis
-// subsystem.
-var txPathBenchmarks = map[string]bool{
-	"BenchmarkTable1PacketIO":     true,
-	"BenchmarkSimulatedLineRate":  true,
-	"BenchmarkTxBurstSteadyState": true,
-	"BenchmarkRxBurstSteadyState": true,
-	"BenchmarkMulticoreScaling":   true,
-	"BenchmarkCRCGapScheduling":   true,
+// gatedBenchmarks are the hot-path benchmarks the -check gate guards:
+// the batched TX/RX datapaths, the event-scheduler core (the timing
+// wheel's schedule/fire loop), and the figure-level scaling runs whose
+// allocation counts the zero-alloc sweep is accountable for.
+var gatedBenchmarks = map[string]bool{
+	"BenchmarkTable1PacketIO":       true,
+	"BenchmarkSimulatedLineRate":    true,
+	"BenchmarkTxBurstSteadyState":   true,
+	"BenchmarkRxBurstSteadyState":   true,
+	"BenchmarkMulticoreScaling":     true,
+	"BenchmarkCRCGapScheduling":     true,
+	"BenchmarkEngineSchedule":       true,
+	"BenchmarkFig2MultiCoreScaling": true,
+	"BenchmarkFig4Scaling120G":      true,
 }
 
 // allocThreshold is the allowed relative allocs/op regression.
@@ -104,9 +180,10 @@ const allocThreshold = 0.25
 // tracked by refreshing the baseline, not by this gate.
 const nsThreshold = 1.5
 
-// nsCheckFloor exempts sub-microsecond benchmarks from the timing
-// check entirely: at one measured iteration their ns/op is dominated
-// by timer granularity.
+// nsCheckFloor exempts microsecond-scale benchmarks from the timing
+// check entirely: even averaged over a 100x micro pass, their ns/op
+// moves with shared-runner scheduling noise; their near-deterministic
+// allocs/op remains gated.
 const nsCheckFloor = 10e3 // ns/op
 
 // writeBaseline marshals results into the committed baseline format.
@@ -116,7 +193,7 @@ func writeBaseline(path string, results []BenchResult) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		Command:    "go " + strings.Join(benchArgs, " "),
+		Command:    benchCommand,
 		Benchmarks: results,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
@@ -130,13 +207,15 @@ func writeBaseline(path string, results []BenchResult) error {
 	return nil
 }
 
-// checkGoBench runs the benchmarks fresh and compares the datapath
+// checkGoBench runs the benchmarks fresh and compares the gated
 // subset against the committed baseline at path, failing on allocs/op
 // or catastrophic ns/op regressions. When outPath is non-empty the
 // fresh run is also written there in the baseline format, so CI can
 // upload it as an artifact for post-hoc triage with a single
-// benchmark run.
-func checkGoBench(path, outPath string) error {
+// benchmark run. Profile paths, when set, are passed through to the
+// benchmark runs so a failing gate ships the evidence along with the
+// verdict.
+func checkGoBench(path, outPath, cpuProfile, memProfile string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("benchtab: read baseline: %w", err)
@@ -149,7 +228,7 @@ func checkGoBench(path, outPath string) error {
 	for _, r := range base.Benchmarks {
 		baseline[r.Name] = r
 	}
-	fresh, err := runBenchResults()
+	fresh, err := runBenchResults(cpuProfile, memProfile)
 	if err != nil {
 		return err
 	}
@@ -162,7 +241,7 @@ func checkGoBench(path, outPath string) error {
 	compared := 0
 	seen := map[string]bool{}
 	for _, r := range fresh {
-		if !txPathBenchmarks[r.Name] {
+		if !gatedBenchmarks[r.Name] {
 			continue
 		}
 		seen[r.Name] = true
@@ -190,8 +269,8 @@ func checkGoBench(path, outPath string) error {
 	// A guarded benchmark vanishing from the fresh run (renamed or
 	// deleted) is itself a gate failure: its pin would otherwise
 	// silently stop being checked.
-	guarded := make([]string, 0, len(txPathBenchmarks))
-	for name := range txPathBenchmarks {
+	guarded := make([]string, 0, len(gatedBenchmarks))
+	for name := range gatedBenchmarks {
 		guarded = append(guarded, name)
 	}
 	sort.Strings(guarded)
@@ -202,13 +281,13 @@ func checkGoBench(path, outPath string) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("benchtab: baseline %s contains no TX-path benchmarks to compare", path)
+		return fmt.Errorf("benchtab: baseline %s contains no gated benchmarks to compare", path)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("benchtab: TX-path perf regressions vs %s:\n  %s",
+		return fmt.Errorf("benchtab: hot-path perf regressions vs %s:\n  %s",
 			path, strings.Join(regressions, "\n  "))
 	}
-	fmt.Printf("no TX-path regressions vs %s (%d benchmarks: allocs within %.0f%%, ns within %.1fx)\n",
+	fmt.Printf("no hot-path regressions vs %s (%d benchmarks: allocs within %.0f%%, ns within %.1fx)\n",
 		path, compared, allocThreshold*100, 1+nsThreshold)
 	return nil
 }

@@ -10,20 +10,29 @@
 //	         [-full] [-seed 1]
 //	benchtab -gobench -out BENCH_baseline.json
 //	benchtab -gobench -check BENCH_baseline.json [-out fresh.json]
+//	         [-cpuprofile bench.cpu.pprof] [-memprofile bench.mem.pprof]
 //
 // -full switches from the fast test scale to sample counts approaching
 // the paper's (slower).
 //
 // -gobench works with the performance baseline instead: it runs the
-// repository's top-level benchmarks (bench_test.go) via `go test
-// -bench` and either writes the parsed results — ns/op, allocations
-// and every custom metric — to the -out JSON file (committed as
-// BENCH_*.json to track the perf trajectory across PRs), or, with
-// -check, compares the fresh run's datapath benchmarks against the
-// committed baseline and exits nonzero on a >25% allocs/op regression
-// (near-deterministic) or a catastrophic (>2.5x) ns/op slowdown — the
-// CI perf gate of the batched datapath. -check plus -out additionally
+// repository's benchmarks (bench_test.go plus the engine benchmarks in
+// internal/sim; figure benchmarks once, sub-millisecond micro
+// benchmarks at -benchtime 100x so their recorded ns/op is a real
+// average rather than timer noise) and either writes the parsed
+// results — ns/op, allocations, iteration counts and every custom
+// metric — to the -out JSON file (committed as BENCH_*.json to track
+// the perf trajectory across PRs), or, with -check, compares the fresh
+// run's gated benchmarks against the committed baseline and exits
+// nonzero on a >25% allocs/op regression (near-deterministic) or a
+// catastrophic (>2.5x) ns/op slowdown — the CI perf gate of the
+// datapath and the event scheduler. -check plus -out additionally
 // writes the fresh run's JSON for artifact upload.
+//
+// -cpuprofile/-memprofile pass through to the underlying `go test`
+// runs (one file per pass, suffixed with the pass name), so a hot-path
+// regression flagged by the gate can be diagnosed with `go tool pprof`
+// from the same binary CI runs.
 package main
 
 import (
@@ -42,7 +51,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		gobench = flag.Bool("gobench", false, "run the repo benchmarks (-out writes a baseline, -check compares against one)")
 		out     = flag.String("out", "", "with -gobench: write the JSON baseline to this file")
-		check   = flag.String("check", "", "with -gobench: compare TX-path benchmarks against this baseline, fail on regressions")
+		check   = flag.String("check", "", "with -gobench: compare gated benchmarks against this baseline, fail on regressions")
+		cpuprof = flag.String("cpuprofile", "", "with -gobench: write per-pass CPU profiles to FILE.<pass>")
+		memprof = flag.String("memprofile", "", "with -gobench: write per-pass heap profiles to FILE.<pass>")
 	)
 	flag.Parse()
 
@@ -52,9 +63,9 @@ func main() {
 		case *check != "":
 			// -out alongside -check writes the fresh run for artifact
 			// upload without a second benchmark pass.
-			err = checkGoBench(*check, *out)
+			err = checkGoBench(*check, *out, *cpuprof, *memprof)
 		case *out != "":
-			err = runGoBench(*out)
+			err = runGoBench(*out, *cpuprof, *memprof)
 		default:
 			err = fmt.Errorf("benchtab: -gobench needs -out FILE (record) or -check FILE (compare)")
 		}

@@ -49,12 +49,12 @@ func multicoreShardLoad(s *multicore.Shard, w cpu.Workload, freq cpu.Freq, windo
 	queues := scenario.BuildPortPairs(app, nic.ChipX540, 1, 1)
 	q := queues[0][0]
 	const pktSize = 60
-	pool := core.CreateMemPool(8192, func(m *mempool.Mbuf) {
+	pool := core.CreateSizedMemPool(8192, loadPoolBufSize(pktSize), func(m *mempool.Mbuf) {
 		p := proto.UDPPacket{B: m.Data[:pktSize]}
 		p.Fill(proto.UDPPacketFill{
 			PktLength: pktSize,
-			IPSrc:     proto.MustIPv4("10.0.0.1"),
-			IPDst:     proto.MustIPv4("10.1.0.1"),
+			IPSrc:     loadSrcIP,
+			IPDst:     loadDstIP,
 			UDPSrc:    1234, UDPDst: 5678,
 		})
 	})
@@ -68,7 +68,7 @@ func multicoreShardLoad(s *multicore.Shard, w cpu.Workload, freq cpu.Freq, windo
 	app.LaunchTask(fmt.Sprintf("core-%d", s.ID), func(t *core.Task) {
 		bufs := make([]*mempool.Mbuf, mempool.DefaultBatchSize)
 		rng := t.Engine().Rand()
-		base := proto.MustIPv4("10.0.0.0")
+		base := loadBaseIP
 		for t.Running() {
 			n := cache.AllocBatch(bufs, pktSize)
 			if n == 0 {

@@ -13,6 +13,23 @@ import (
 	"repro/internal/wire"
 )
 
+// Template addresses of the paced-load packet fill, hoisted so pool
+// prefill callbacks do not re-parse dotted quads per buffer.
+var (
+	loadSrcIP  = proto.MustIPv4("10.0.0.1")
+	loadDstIP  = proto.MustIPv4("10.1.0.1")
+	loadBaseIP = proto.MustIPv4("10.0.0.0")
+)
+
+// loadPoolBufSize returns the buffer data room for a paced-load pool:
+// the packet plus slack, rounded so the pool slab stays small (the
+// experiments' frames are 60-252 B; a 2 kB room per buffer would spend
+// most of the setup cost zeroing bytes no packet touches).
+func loadPoolBufSize(pktSize int) int {
+	const grain = 256
+	return (pktSize + grain - 1) / grain * grain
+}
+
 // pacedLoad simulates generator cores running a given workload: each
 // core's task performs the real per-packet work (field randomization,
 // offload flags) and paces itself by the cycle-cost model — exactly the
@@ -35,12 +52,12 @@ func (pl *pacedLoad) run(app *core.App, window sim.Duration) (totalPkts uint64, 
 	perPkt := pl.workload.TimePerPacket(pl.freq)
 	for c := 0; c < pl.cores; c++ {
 		queues := pl.queues[c]
-		pool := core.CreateMemPool(8192, func(m *mempool.Mbuf) {
+		pool := core.CreateSizedMemPool(8192, loadPoolBufSize(pl.pktSize), func(m *mempool.Mbuf) {
 			p := proto.UDPPacket{B: m.Data[:pl.pktSize]}
 			p.Fill(proto.UDPPacketFill{
 				PktLength: pl.pktSize,
-				IPSrc:     proto.MustIPv4("10.0.0.1"),
-				IPDst:     proto.MustIPv4("10.1.0.1"),
+				IPSrc:     loadSrcIP,
+				IPDst:     loadDstIP,
 				UDPSrc:    1234, UDPDst: 5678,
 			})
 		})

@@ -44,9 +44,13 @@ type Port struct {
 	// rxPool backs the receive buffers; rxCache is the port's
 	// allocation front over it, so the steady-state receive path takes
 	// the pool lock once per half-cache refill instead of per packet —
-	// the RX mirror of the per-core transmit caches.
-	rxPool  *mempool.Pool
-	rxCache *mempool.Cache
+	// the RX mirror of the per-core transmit caches. The pool is
+	// created on first use: TX-only ports (every sink of the scaling
+	// beds consumes frames in a deliver hook) never pay for zeroing a
+	// receive slab they will not touch.
+	rxPool     *mempool.Pool
+	rxCache    *mempool.Cache
+	rxPoolSize int
 
 	stats Stats
 
@@ -76,14 +80,23 @@ type Port struct {
 	fifoBytes     int // bytes fetched into the on-chip TX FIFO
 	lastTxStart   sim.Time
 	hasTxStart    bool
-	txTrain       int // max frames the MAC commits per scheduler event
+	txTrain       int          // max frames the MAC commits per scheduler event
+	minFrameTime  sim.Duration // wire time of a minimum frame (train horizon unit)
+	shaped        int          // queues with an active rate limiter (see kickPump)
+	runtMinGap    sim.Duration // precomputed 1/RuntMaxPPS (0 = no ceiling)
+	portMinGap    sim.Duration // precomputed 1/PortMaxPPS (0 = no ceiling)
 
 	// completions is the transmit-completion FIFO: buffers owned by
 	// the NIC until their frame leaves the FIFO, recycled in batches
 	// by the prebound completeFn (one event per train, no closures).
-	completions    ring.FIFO[txCompletion]
-	lastCompletion sim.Time
-	completeFn     func()
+	// freeBatch is the reusable scratch that returns a completed train
+	// to its pool under a single lock acquisition.
+	completions     ring.FIFO[txCompletion]
+	lastCompletion  sim.Time
+	completeFn      func()
+	completionArmed bool
+	completionAt    sim.Time
+	freeBatch       []*mempool.Mbuf
 
 	// txTrace, when set, observes every departure commit with its
 	// exact wire start instant (tests pin the batched scheduler's
@@ -173,14 +186,20 @@ func NewPort(eng *sim.Engine, cfg PortConfig) *Port {
 			ReadOutlierProb: 0.05,
 			InitialOffset:   cfg.ClockOffset,
 		}),
-		rxPool:    mempool.New(mempool.Config{Count: cfg.RxPoolSize}),
-		tsUDPPort: proto.PTPUDPPort,
-		txTrain:   cfg.TxTrain,
+		rxPoolSize:   cfg.RxPoolSize,
+		tsUDPPort:    proto.PTPUDPPort,
+		txTrain:      cfg.TxTrain,
+		minFrameTime: wire.FrameTime(cfg.Profile.Speed, proto.MinFrameSizeFCS),
 	}
 	if p.txTrain <= 0 {
 		p.txTrain = DefaultTxTrain
 	}
-	p.rxCache = p.rxPool.NewCache(0)
+	if cfg.Profile.RuntMaxPPS > 0 {
+		p.runtMinGap = sim.FromSeconds(1 / cfg.Profile.RuntMaxPPS)
+	}
+	if cfg.Profile.PortMaxPPS > 0 {
+		p.portMinGap = sim.FromSeconds(1 / cfg.Profile.PortMaxPPS)
+	}
 	p.pumpFn = p.pumpEvent
 	p.completeFn = p.completeTx
 	for i := 0; i < cfg.TxQueues; i++ {
@@ -234,8 +253,23 @@ func (p *Port) NumTxQueues() int { return len(p.txQueues) }
 // NumRxQueues returns the number of configured RX queues.
 func (p *Port) NumRxQueues() int { return len(p.rxQueues) }
 
+// ensureRxPool creates the receive pool and its cache on first use.
+// Lazy creation is invisible to the simulation (pool construction
+// draws no randomness and schedules no events); it only avoids
+// allocating and zeroing megabytes of receive slab on ports that never
+// receive through the driver path.
+func (p *Port) ensureRxPool() {
+	if p.rxPool == nil {
+		p.rxPool = mempool.New(mempool.Config{Count: p.rxPoolSize})
+		p.rxCache = p.rxPool.NewCache(0)
+	}
+}
+
 // RxPool returns the port's receive mempool (exposed for tests).
-func (p *Port) RxPool() *mempool.Pool { return p.rxPool }
+func (p *Port) RxPool() *mempool.Pool {
+	p.ensureRxPool()
+	return p.rxPool
+}
 
 // RxBufArray returns a burst wrapper for draining this port's receive
 // queues: its FreeAll recycles buffers through the port's receive
@@ -243,12 +277,14 @@ func (p *Port) RxPool() *mempool.Pool { return p.rxPool }
 // lock — the counterpart of the transmit loops' cache-bound arrays.
 // Size <= 0 selects the default batch size.
 func (p *Port) RxBufArray(size int) *mempool.BufArray {
+	p.ensureRxPool()
 	return p.rxCache.BufArray(size)
 }
 
 // RecycleRx returns a batch of receive buffers through the port's
 // receive cache (the non-BufArray drain idiom).
 func (p *Port) RecycleRx(bufs []*mempool.Mbuf) {
+	p.ensureRxPool()
 	for i, m := range bufs {
 		if m != nil {
 			p.rxCache.Put(m)
@@ -412,6 +448,7 @@ func (p *Port) DeliverFrame(f *wire.Frame, rxTime sim.Time) {
 	// (one producer-index store per RxTrain frames) — the batched RX
 	// datapath mirroring the MAC scheduler's transmit trains.
 	q := p.rxQueues[p.rssQueue(f.Data)]
+	p.ensureRxPool()
 	m := p.rxCache.Alloc(len(f.Data))
 	if m == nil {
 		q.missed.Add(1)

@@ -8,7 +8,6 @@ import (
 	"repro/internal/proto"
 	"repro/internal/ring"
 	"repro/internal/sim"
-	"repro/internal/wire"
 )
 
 // DefaultTxTrain is the default cap on frames the MAC scheduler
@@ -67,9 +66,15 @@ func (q *TxQueue) SetRatePPS(pps float64) {
 		panic(fmt.Sprintf("nic: %s has no hardware rate control", q.port.profile.Name))
 	}
 	if pps <= 0 {
+		if q.interval != 0 {
+			q.port.shaped--
+		}
 		q.interval = 0
 		q.anomalous = false
 		return
+	}
+	if q.interval == 0 {
+		q.port.shaped++
 	}
 	q.interval = sim.FromSeconds(1 / pps)
 	q.anomalous = q.port.profile.RateAnomalyPPS > 0 && pps > q.port.profile.RateAnomalyPPS
@@ -191,7 +196,20 @@ func (q *TxQueue) advance() {
 // A pump already scheduled for a *future* instant (a shaped queue's next
 // departure) must not suppress this: a newly enqueued frame on another
 // queue may be eligible right now.
-func (p *Port) kickPump() { p.schedulePump(p.eng.Now()) }
+//
+// Fast path: when every queue is unshaped and an evaluation is already
+// armed at or before the wire's next transmit slot, the kick is
+// redundant — no frame can start before that slot (start ≥ NextTxSlot
+// always), the armed evaluation re-derives all state when it fires,
+// and an unshaped evaluation draws no randomness — so skipping the
+// extra event is invisible to the simulation. This is what keeps a
+// busy-waiting sender from scheduling one no-op pump per retry.
+func (p *Port) kickPump() {
+	if p.pumpScheduled && p.shaped == 0 && p.link != nil && p.pumpAt <= p.link.NextTxSlot() {
+		return
+	}
+	p.schedulePump(p.eng.Now())
+}
 
 // schedulePump arranges exactly one pending evaluation at the earliest
 // requested instant. An existing earlier-or-equal event already covers
@@ -248,7 +266,7 @@ func (p *Port) pump() {
 	// a flood) waits no longer than it would behind one large frame
 	// under the per-packet scheduler.
 	emitted := 1
-	horizon := now.Add(sim.Duration(p.txTrain) * wire.FrameTime(p.profile.Speed, proto.MinFrameSizeFCS))
+	horizon := now.Add(sim.Duration(p.txTrain) * p.minFrameTime)
 	for emitted < p.txTrain {
 		sole, multi := p.soleActiveQueue()
 		if multi || (sole != nil && sole.interval != 0) {
@@ -298,20 +316,16 @@ func (p *Port) soleActiveQueue() (sole *TxQueue, multi bool) {
 
 // applyRateCeilings delays start to honor the per-port packet-rate
 // ceilings: sub-minimum frames cap at RuntMaxPPS (§8.1); the XL710
-// caps all frames at PortMaxPPS (§5.4).
+// caps all frames at PortMaxPPS (§5.4). The per-ceiling gaps are
+// precomputed at port creation (runtMinGap/portMinGap) — same rounded
+// picosecond values, no per-frame division.
 func (p *Port) applyRateCeilings(m *mempool.Mbuf, start sim.Time) sim.Time {
 	if !p.hasTxStart {
 		return start
 	}
-	var minGap sim.Duration
-	wireSize := m.Len + proto.FCSLen
-	if wireSize < proto.MinFrameSizeFCS && p.profile.RuntMaxPPS > 0 {
-		minGap = sim.FromSeconds(1 / p.profile.RuntMaxPPS)
-	}
-	if p.profile.PortMaxPPS > 0 {
-		if g := sim.FromSeconds(1 / p.profile.PortMaxPPS); g > minGap {
-			minGap = g
-		}
+	minGap := p.portMinGap
+	if p.runtMinGap > minGap && m.Len+proto.FCSLen < proto.MinFrameSizeFCS {
+		minGap = p.runtMinGap
 	}
 	if minGap > 0 && start.Sub(p.lastTxStart) < minGap {
 		return p.lastTxStart.Add(minGap)
@@ -450,22 +464,48 @@ func (p *Port) pushCompletion(m *mempool.Mbuf, at sim.Time) {
 // armCompletions schedules one recycling event at the end of the train
 // just committed. The event frees every buffer whose frame has left the
 // FIFO by then; with single-frame trains this is exactly the per-packet
-// free-at-busyUntil behavior.
+// free-at-busyUntil behavior. An event already armed at the same
+// instant is not duplicated (duplicates were harmless no-ops; now they
+// are not scheduled at all).
 func (p *Port) armCompletions() {
-	if p.completions.Len() > 0 {
+	if p.completions.Len() > 0 && !(p.completionArmed && p.completionAt == p.lastCompletion) {
+		p.completionArmed = true
+		p.completionAt = p.lastCompletion
 		p.eng.Schedule(p.lastCompletion, p.completeFn)
 	}
 }
 
 // completeTx frees every buffer whose transmit completed by now.
+// Frees are batched per pool (one lock acquisition per run of
+// same-pool buffers — in practice the whole train) instead of paying
+// the pool mutex per packet.
 func (p *Port) completeTx() {
 	now := p.eng.Now()
+	if now >= p.completionAt {
+		p.completionArmed = false
+	}
 	for {
 		c, ok := p.completions.Peek()
 		if !ok || c.at > now {
-			return
+			break
+		}
+		if n := len(p.freeBatch); n > 0 && p.freeBatch[n-1].Pool() != c.m.Pool() {
+			p.flushFreeBatch()
 		}
 		p.completions.Pop()
-		c.m.Free()
+		p.freeBatch = append(p.freeBatch, c.m)
 	}
+	p.flushFreeBatch()
+}
+
+// flushFreeBatch returns the accumulated same-pool completions.
+func (p *Port) flushFreeBatch() {
+	if len(p.freeBatch) == 0 {
+		return
+	}
+	p.freeBatch[0].Pool().FreeBatch(p.freeBatch)
+	for i := range p.freeBatch {
+		p.freeBatch[i] = nil
+	}
+	p.freeBatch = p.freeBatch[:0]
 }

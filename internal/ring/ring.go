@@ -92,11 +92,17 @@ func (r *SPSC[T]) EnqueueBurst(items []T) int {
 // Enqueue is EnqueueBurst under its legacy name.
 func (r *SPSC[T]) Enqueue(items []T) int { return r.EnqueueBurst(items) }
 
-// EnqueueOne adds a single item, reporting whether there was room.
+// EnqueueOne adds a single item, reporting whether there was room. It
+// is the direct single-item path (no burst slice), used by per-packet
+// senders.
 func (r *SPSC[T]) EnqueueOne(item T) bool {
-	var one [1]T
-	one[0] = item
-	return r.EnqueueBurst(one[:]) == 1
+	tail := r.tail.Load()
+	if uint64(len(r.buf))-(tail-r.head.Load()) == 0 {
+		return false
+	}
+	r.buf[tail&r.mask] = item
+	r.tail.Store(tail + 1) // release: publishes the write above
+	return true
 }
 
 // DequeueBurst removes up to len(out) items into out under one
@@ -126,14 +132,20 @@ func (r *SPSC[T]) DequeueBurst(out []T) int {
 // Dequeue is DequeueBurst under its legacy name.
 func (r *SPSC[T]) Dequeue(out []T) int { return r.DequeueBurst(out) }
 
-// DequeueOne removes a single item, reporting whether one was available.
+// DequeueOne removes a single item, reporting whether one was
+// available. It is the direct single-item path (no burst slice): the
+// MAC scheduler commits one frame at a time off the descriptor ring.
 func (r *SPSC[T]) DequeueOne() (T, bool) {
-	var out [1]T
-	if r.DequeueBurst(out[:]) == 1 {
-		return out[0], true
-	}
+	head := r.head.Load()
 	var zero T
-	return zero, false
+	if r.tail.Load() == head {
+		return zero, false
+	}
+	idx := head & r.mask
+	v := r.buf[idx]
+	r.buf[idx] = zero // drop reference for GC
+	r.head.Store(head + 1)
+	return v, true
 }
 
 // Peek returns the item at the head without removing it.

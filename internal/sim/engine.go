@@ -72,6 +72,24 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// Scheduler selects the engine's ready-queue implementation. Both
+// produce the exact same event order — time, then schedule sequence —
+// so simulations are bit-identical across them; the property is pinned
+// by TestWheelMatchesHeapOrder.
+type Scheduler int
+
+// Schedulers.
+const (
+	// SchedulerWheel is the default: a calendar-queue timing wheel with
+	// pooled slot nodes and a far-future overflow heap (see wheel.go).
+	// O(1) schedule/fire for the densely clustered near-future events
+	// packet trains produce.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the reference binary min-heap, kept as the
+	// equivalence pin for the wheel and for bisecting scheduler bugs.
+	SchedulerHeap
+)
+
 // Engine is a single-threaded discrete-event scheduler. All simulated
 // activity — including cooperatively scheduled processes (see Proc) —
 // runs under the engine's Run loop; at any instant at most one piece of
@@ -79,7 +97,9 @@ func (h *eventHeap) pop() event {
 // given seed.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	useHeap bool
+	wheel   timingWheel
+	heap    eventHeap
 	seq     uint64
 	seed    int64
 	rng     *rand.Rand
@@ -96,7 +116,18 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 // The same seed always produces the same event trace.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed)), stopAt: Never}
+	return NewEngineScheduler(seed, SchedulerWheel)
+}
+
+// NewEngineScheduler returns an engine with an explicit ready-queue
+// implementation. Seed semantics are identical to NewEngine.
+func NewEngineScheduler(seed int64, sched Scheduler) *Engine {
+	return &Engine{
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
+		stopAt:  Never,
+		useHeap: sched == SchedulerHeap,
+	}
 }
 
 // Now returns the current simulation time.
@@ -135,12 +166,23 @@ func (e *Engine) NewRand() *rand.Rand {
 
 // Schedule runs fn at time at. Scheduling in the past panics: it would
 // silently corrupt causality.
+//
+// The zero-allocation contract of the hot path: Schedule itself never
+// allocates in steady state (wheel slot nodes are pooled), so a caller
+// that passes a prebound fn — a port's pump/completion callback, a
+// link's delivery callback, a process's dispatch function — schedules
+// with zero allocations. Model code should hoist its closures into
+// reusable fields exactly like those callers do.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	if e.useHeap {
+		e.heap.push(event{at: at, seq: e.seq, fn: fn})
+	} else {
+		e.wheel.schedule(at, e.seq, fn)
+	}
 }
 
 // ScheduleAfter runs fn d after the current time.
@@ -167,31 +209,59 @@ func (e *Engine) Running() bool { return !e.stopped && e.now < e.stopAt }
 // their counters, exactly like MoonGen tasks draining after Ctrl-C.
 func (e *Engine) Stop() { e.stopped = true }
 
+// popEvent removes and returns the earliest pending event.
+func (e *Engine) popEvent() (Time, func(), bool) {
+	if e.useHeap {
+		if e.heap.len() == 0 {
+			return 0, nil, false
+		}
+		ev := e.heap.pop()
+		return ev.at, ev.fn, true
+	}
+	if e.wheel.len() == 0 {
+		return 0, nil, false
+	}
+	at, fn := e.wheel.pop()
+	return at, fn, true
+}
+
 // Step fires the earliest pending event. It reports false when no events
 // remain.
 func (e *Engine) Step() bool {
-	if e.events.len() == 0 {
+	at, fn, ok := e.popEvent()
+	if !ok {
 		return false
 	}
-	ev := e.events.pop()
-	if ev.at < e.now {
+	if at < e.now {
 		panic("sim: time went backwards")
 	}
-	e.now = ev.at
-	ev.fn()
+	e.now = at
+	fn()
 	return true
 }
 
-// Run fires events until the heap is empty or the next event is after
+// Run fires events until the queue is empty or the next event is after
 // until. It returns the number of events fired.
 func (e *Engine) Run(until Time) int {
 	n := 0
-	for e.events.len() > 0 {
-		if e.events.ev[0].at > until {
-			break
+	if e.useHeap {
+		for e.heap.len() > 0 && e.heap.ev[0].at <= until {
+			e.Step()
+			n++
 		}
-		e.Step()
-		n++
+	} else {
+		for {
+			at, fn, ok := e.wheel.popAtMost(until)
+			if !ok {
+				break
+			}
+			if at < e.now {
+				panic("sim: time went backwards")
+			}
+			e.now = at
+			fn()
+			n++
+		}
 	}
 	if e.now < until && until != Never {
 		e.now = until
@@ -199,12 +269,17 @@ func (e *Engine) Run(until Time) int {
 	return n
 }
 
-// RunAll fires every event until the heap drains. Processes must
+// RunAll fires every event until the queue drains. Processes must
 // terminate (e.g. via SetStopTime) or RunAll never returns.
 func (e *Engine) RunAll() int { return e.Run(Never) }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return e.events.len() }
+func (e *Engine) Pending() int {
+	if e.useHeap {
+		return e.heap.len()
+	}
+	return e.wheel.len()
+}
 
 // Procs returns the number of live processes.
 func (e *Engine) Procs() int { return e.procs }

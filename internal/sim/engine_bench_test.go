@@ -6,20 +6,49 @@ import (
 )
 
 // BenchmarkEngineSchedule measures the schedule/fire hot path of the
-// index-based event heap. Compare against
-// BenchmarkEngineScheduleContainerHeap, the pre-refactor container/heap
-// implementation: the slice-of-values heap schedules with zero
-// per-event boxing allocations (the closure itself is hoisted out of
-// the loop), where container/heap paid one *event allocation plus an
-// interface{} box per Push.
+// default timing-wheel scheduler on a clustered-time burst (64 events
+// within a few picoseconds — one wheel tick). Compare against
+// BenchmarkEngineScheduleHeapEngine (the same engine on the reference
+// binary heap) and BenchmarkEngineScheduleContainerHeap (the original
+// container/heap implementation, which paid one *event allocation plus
+// an interface{} box per Push). Both engine paths schedule with zero
+// allocations: the wheel pools its slot nodes.
 func BenchmarkEngineSchedule(b *testing.B) {
-	e := NewEngine(1)
+	benchEngineSchedule(b, SchedulerWheel)
+}
+
+// BenchmarkEngineScheduleHeapEngine is the identical workload on the
+// reference heap scheduler — the wheel's control group.
+func BenchmarkEngineScheduleHeapEngine(b *testing.B) {
+	benchEngineSchedule(b, SchedulerHeap)
+}
+
+func benchEngineSchedule(b *testing.B, sched Scheduler) {
+	e := NewEngineScheduler(1, sched)
 	fn := func() {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 64; j++ {
 			e.Schedule(e.now.Add(Duration(j%7)), fn)
+		}
+		for e.Step() {
+		}
+	}
+}
+
+// BenchmarkEngineScheduleSpread is the wheel's home turf: event times
+// spread over microseconds (a packet train's departures, deliveries and
+// completions), where the heap pays O(log n) sifts per event and the
+// wheel pays O(1) slot pushes.
+func BenchmarkEngineScheduleSpread(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(e.now.Add(Duration(j)*67*Nanosecond), fn)
 		}
 		for e.Step() {
 		}

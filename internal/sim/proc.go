@@ -46,9 +46,16 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	}()
 	// First wake-up happens as a normal event at the current time, so
 	// Spawn itself never runs user code.
-	e.Schedule(e.now, p.dispatchFn)
+	e.ScheduleProc(e.now, p)
 	return p
 }
+
+// ScheduleProc arms a wake-up for p at time at through the process's
+// prebound dispatch function — the zero-allocation event path of the
+// hot loops. Sleep/SleepUntil/Yield all go through it; model code that
+// wants to wake a process at an explicit instant should too, instead
+// of capturing the process in a fresh closure.
+func (e *Engine) ScheduleProc(at Time, p *Proc) { e.Schedule(at, p.dispatchFn) }
 
 // dispatch transfers control from the engine to the process and waits
 // for it to park or exit. Must be called from engine (event) context.
@@ -88,7 +95,7 @@ func (p *Proc) Sleep(d Duration) {
 		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
 	}
 	e := p.eng
-	e.Schedule(e.now.Add(d), p.dispatchFn)
+	e.ScheduleProc(e.now.Add(d), p)
 	p.park()
 }
 
@@ -99,7 +106,7 @@ func (p *Proc) SleepUntil(t Time) {
 		t = p.eng.now
 	}
 	e := p.eng
-	e.Schedule(t, p.dispatchFn)
+	e.ScheduleProc(t, p)
 	p.park()
 }
 

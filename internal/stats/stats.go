@@ -244,6 +244,17 @@ func (c *Counter) AverageMpps() float64 {
 type Histogram struct {
 	BinWidth sim.Duration
 
+	// dense is the fixed-resolution fast path: a window of
+	// denseBins contiguous buckets anchored around the first recorded
+	// sample. The per-packet recording path is then a bounds check and
+	// an array increment — no map hashing and no allocation. Samples
+	// outside the window fall back to the sparse map; bins is nil
+	// until the first outlier, so well-behaved distributions never
+	// allocate it. Bin keys and counts are identical to the map-only
+	// implementation, so every CSV and percentile is unchanged.
+	dense   []uint64
+	denseLo int64
+
 	bins  map[int64]uint64
 	count uint64
 	sum   float64
@@ -259,6 +270,14 @@ type Histogram struct {
 	sorted     bool
 }
 
+// denseBins is the width of the dense bucket window (64 kB of
+// counters): ±2048 bins of slack below the anchor and the rest above.
+// With the paper's 64 ns bins that is a ±131 µs / +393 µs window —
+// wide enough that latency and inter-arrival distributions stay
+// entirely on the fast path, while pathological outliers degrade to
+// the map instead of growing the array.
+const denseBins = 8192
+
 // NewHistogram creates a histogram with the given bin width (64 ns in
 // the paper's measurements).
 func NewHistogram(binWidth sim.Duration) *Histogram {
@@ -267,11 +286,38 @@ func NewHistogram(binWidth sim.Duration) *Histogram {
 	}
 	return &Histogram{
 		BinWidth:   binWidth,
-		bins:       make(map[int64]uint64),
 		min:        math.MaxInt64,
 		max:        math.MinInt64,
 		maxSamples: 1 << 20,
 	}
+}
+
+// binKey returns the bucket index of d (truncating division, exactly
+// as the map keys have always been computed).
+func (h *Histogram) binKey(d sim.Duration) int64 { return int64(d) / int64(h.BinWidth) }
+
+// anchorDense places the dense window around the first observed key:
+// a quarter of the window below (distributions skew upward from their
+// first sample), the rest above.
+func (h *Histogram) anchorDense(key int64) {
+	h.dense = make([]uint64, denseBins)
+	h.denseLo = key - denseBins/4
+}
+
+// addBin increments one bucket through the dense window or, for
+// outliers, the sparse map.
+func (h *Histogram) addBin(key int64, n uint64) {
+	if h.dense == nil {
+		h.anchorDense(key)
+	}
+	if idx := key - h.denseLo; idx >= 0 && idx < denseBins {
+		h.dense[idx] += n
+		return
+	}
+	if h.bins == nil {
+		h.bins = make(map[int64]uint64)
+	}
+	h.bins[key] += n
 }
 
 // Add records one duration.
@@ -286,7 +332,7 @@ func (h *Histogram) Add(d sim.Duration) {
 	if d > h.max {
 		h.max = d
 	}
-	h.bins[int64(d)/int64(h.BinWidth)]++
+	h.addBin(h.binKey(d), 1)
 	if len(h.samples) < h.maxSamples {
 		h.samples = append(h.samples, d)
 		h.sorted = false
@@ -315,9 +361,13 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.max > h.max {
 		h.max = other.max
 	}
-	for k, v := range other.bins {
-		h.bins[k] += v
+	if h.dense == nil && other.dense != nil {
+		// Fresh target: adopt the source's dense anchor so shard
+		// histograms merged in order stay on the fast path.
+		h.dense = make([]uint64, denseBins)
+		h.denseLo = other.denseLo
 	}
+	other.eachBin(func(k int64, v uint64) { h.addBin(k, v) })
 	if room := h.maxSamples - len(h.samples); room > 0 {
 		take := other.samples
 		if len(take) > room {
@@ -376,17 +426,12 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 		return h.samples[idx]
 	}
 	// Bin-based fallback.
-	keys := make([]int64, 0, len(h.bins))
-	for k := range h.bins {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	target := uint64(p / 100 * float64(h.count))
 	var cum uint64
-	for _, k := range keys {
-		cum += h.bins[k]
+	for _, b := range h.Bins() {
+		cum += b.Count
 		if cum >= target {
-			return sim.Duration(k * int64(h.BinWidth))
+			return b.Lo
 		}
 	}
 	return h.max
@@ -419,11 +464,11 @@ func (h *Histogram) FractionWithin(center, tol sim.Duration) float64 {
 	}
 	lo, hi := int64(center-tol)/int64(h.BinWidth), int64(center+tol)/int64(h.BinWidth)
 	var cum uint64
-	for k, v := range h.bins {
+	h.eachBin(func(k int64, v uint64) {
 		if k >= lo && k <= hi {
 			cum += v
 		}
-	}
+	})
 	return float64(cum) / float64(h.count)
 }
 
@@ -444,11 +489,11 @@ func (h *Histogram) FractionBelow(limit sim.Duration) float64 {
 	}
 	key := int64(limit) / int64(h.BinWidth)
 	var cum uint64
-	for k, v := range h.bins {
+	h.eachBin(func(k int64, v uint64) {
 		if k <= key {
 			cum += v
 		}
-	}
+	})
 	return float64(cum) / float64(h.count)
 }
 
@@ -458,18 +503,38 @@ type Bin struct {
 	Count uint64
 }
 
+// eachBin visits every non-empty bucket (dense window, then sparse
+// outliers) in unspecified order. Counts are exact; callers needing
+// ascending order use Bins.
+func (h *Histogram) eachBin(f func(key int64, count uint64)) {
+	for i, v := range h.dense {
+		if v != 0 {
+			f(h.denseLo+int64(i), v)
+		}
+	}
+	for k, v := range h.bins {
+		f(k, v)
+	}
+}
+
 // Bins returns the non-empty buckets in ascending order.
 func (h *Histogram) Bins() []Bin {
 	keys := make([]int64, 0, len(h.bins))
-	for k := range h.bins {
-		keys = append(keys, k)
-	}
+	h.eachBin(func(k int64, _ uint64) { keys = append(keys, k) })
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]Bin, len(keys))
 	for i, k := range keys {
-		out[i] = Bin{Lo: sim.Duration(k * int64(h.BinWidth)), Count: h.bins[k]}
+		out[i] = Bin{Lo: sim.Duration(k * int64(h.BinWidth)), Count: h.binCount(k)}
 	}
 	return out
+}
+
+// binCount returns one bucket's count across both stores.
+func (h *Histogram) binCount(key int64) uint64 {
+	if idx := key - h.denseLo; h.dense != nil && idx >= 0 && idx < denseBins {
+		return h.dense[idx]
+	}
+	return h.bins[key]
 }
 
 // WriteCSV dumps "bin_lo_ns,count,probability" rows.
@@ -510,7 +575,7 @@ func ParseHistogramCSV(r io.Reader, binWidth sim.Duration) (*Histogram, error) {
 		}
 		lo := sim.FromNanoseconds(loNS)
 		key := int64(lo) / int64(h.BinWidth)
-		h.bins[key] += count
+		h.addBin(key, count)
 		h.count += count
 		h.sum += float64(lo) * float64(count)
 		h.sumsq += float64(lo) * float64(lo) * float64(count)

@@ -428,3 +428,63 @@ func TestHistogramStd(t *testing.T) {
 		t.Fatalf("std = %v", s)
 	}
 }
+
+// TestHistogramDenseOutlierFallback pins the dense-window fast path:
+// samples inside the window and far outliers (which fall back to the
+// sparse map) must produce exactly the same bins, fractions and CSV
+// as a map-only histogram would — the dense store is an optimization,
+// not a behavior change.
+func TestHistogramDenseOutlierFallback(t *testing.T) {
+	h := NewHistogram(64 * sim.Nanosecond)
+	// Anchor lands around the first sample; these stay dense.
+	for i := 0; i < 100; i++ {
+		h.Add(sim.Duration(1000+i) * sim.Nanosecond)
+	}
+	// Far outliers: way outside any 8192-bin window at 64 ns bins.
+	h.Add(5 * sim.Second)
+	h.Add(-3 * sim.Second)
+	if h.bins == nil {
+		t.Fatal("outliers did not reach the sparse map")
+	}
+	if h.Count() != 102 {
+		t.Fatalf("count = %d, want 102", h.Count())
+	}
+	var total uint64
+	for _, b := range h.Bins() {
+		total += b.Count
+	}
+	if total != 102 {
+		t.Fatalf("bins sum to %d, want 102", total)
+	}
+	bins := h.Bins()
+	for i := 1; i < len(bins); i++ {
+		if bins[i-1].Lo >= bins[i].Lo {
+			t.Fatalf("bins not ascending at %d: %v >= %v", i, bins[i-1].Lo, bins[i].Lo)
+		}
+	}
+	if got := h.FractionBelow(0); got != 1.0/102 {
+		t.Fatalf("FractionBelow(0) = %v, want %v", got, 1.0/102)
+	}
+	if h.Max() != 5*sim.Second || h.Min() != -3*sim.Second {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramAddZeroAlloc pins the per-packet recording contract:
+// once the sample reservoir is full, Add on the dense window performs
+// no allocations.
+func TestHistogramAddZeroAlloc(t *testing.T) {
+	h := NewHistogram(64 * sim.Nanosecond)
+	h.maxSamples = 64
+	for i := 0; i < 128; i++ {
+		h.Add(sim.Duration(i) * sim.Microsecond / 4)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Add(sim.Duration(i%128) * sim.Microsecond / 4)
+		i++
+	})
+	if allocs > 0 {
+		t.Fatalf("dense-window Add allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -173,6 +173,15 @@ type Link struct {
 	lengthM float64
 	peer    Endpoint
 
+	// byteTime and pathLat cache ByteTime(speed) and
+	// phy.PathLatency(lengthM): both involve float division/rounding
+	// and the transmit path needs them per frame. The cached values are
+	// the exact same picosecond quantities the formulas produce, so
+	// timing is bit-identical to recomputing.
+	byteTime  sim.Duration
+	pathLat   sim.Duration
+	hasJitter bool
+
 	busyUntil sim.Time // wire occupied until this instant (TX side)
 	seq       uint64
 
@@ -203,7 +212,13 @@ func NewLink(eng *sim.Engine, speed Speed, phy PHYProfile, lengthM float64, peer
 	if peer == nil {
 		panic("wire: nil peer")
 	}
-	l := &Link{eng: eng, speed: speed, phy: phy, lengthM: lengthM, peer: peer, jitterRNG: eng.NewRand()}
+	l := &Link{
+		eng: eng, speed: speed, phy: phy, lengthM: lengthM, peer: peer,
+		byteTime:  ByteTime(speed),
+		pathLat:   phy.PathLatency(lengthM),
+		hasJitter: phy.SmallJitterNS != 0,
+		jitterRNG: eng.NewRand(),
+	}
 	l.deliverFn = l.deliver
 	return l
 }
@@ -215,7 +230,7 @@ func (l *Link) Speed() Speed { return l.speed }
 func (l *Link) PHY() PHYProfile { return l.phy }
 
 // ByteTime returns the per-byte serialization time of this link.
-func (l *Link) ByteTime() sim.Duration { return ByteTime(l.speed) }
+func (l *Link) ByteTime() sim.Duration { return l.byteTime }
 
 // NextTxSlot returns the earliest time a new frame may start
 // transmitting (the wire enforces serialization spacing).
@@ -245,14 +260,17 @@ func (l *Link) TransmitAt(f *Frame, start sim.Time) sim.Time {
 	if start < l.busyUntil {
 		panic(fmt.Sprintf("wire: transmit at %v while busy until %v", start, l.busyUntil))
 	}
-	occupancy := sim.Duration(f.WireSize+proto.WireOverhead) * l.ByteTime()
+	occupancy := sim.Duration(f.WireSize+proto.WireOverhead) * l.byteTime
 	l.busyUntil = start.Add(occupancy)
 	l.seq++
 	f.SeqNo = l.seq
 	l.TxFrames++
 	l.TxBytes += uint64(f.WireSize)
 
-	rxTime := start.Add(sim.Duration(l.phy.PathLatency(l.lengthM))).Add(l.phy.Jitter(l.jitterRNG))
+	rxTime := start.Add(l.pathLat)
+	if l.hasJitter {
+		rxTime = rxTime.Add(l.phy.Jitter(l.jitterRNG))
+	}
 	if rxTime < l.lastRx {
 		// A serial link cannot reorder: clamp pathological jitter draws
 		// (possible only for runt frames shorter than the jitter range).
