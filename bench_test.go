@@ -27,6 +27,17 @@ import (
 // for paper-scale sample counts.
 var benchScale = experiments.ScaleTest
 
+// reportSimWall reports the sim/wall ratio — total simulated time over
+// total wall time, > 1 means faster than realtime — for experiment
+// benchmarks whose results carry a Simulated duration. The ratio is a
+// first-class performance metric: benchtab -gobench records it into
+// BENCH_baseline.json and the bench-check gate fails if it collapses.
+func reportSimWall(b *testing.B, simNS float64) {
+	if wall := b.Elapsed().Nanoseconds(); wall > 0 && simNS > 0 {
+		b.ReportMetric(simNS/float64(wall), "sim/wall")
+	}
+}
+
 // --- §5.2 / Figures 2-4: throughput experiments ----------------------
 
 func BenchmarkFreqSweepVsPktgen(b *testing.B) {
@@ -39,11 +50,14 @@ func BenchmarkFreqSweepVsPktgen(b *testing.B) {
 }
 
 func BenchmarkFig2MultiCoreScaling(b *testing.B) {
+	var simNS float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunFig2(benchScale, 2)
+		simNS += r.Simulated.Nanoseconds()
 		b.ReportMetric(r.Mpps[0], "1core-Mpps")
 		b.ReportMetric(r.Mpps[7], "8core-Mpps")
 	}
+	reportSimWall(b, simNS)
 }
 
 func BenchmarkFig3XL710(b *testing.B) {
@@ -55,10 +69,13 @@ func BenchmarkFig3XL710(b *testing.B) {
 }
 
 func BenchmarkFig4Scaling120G(b *testing.B) {
+	var simNS float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunFig4(benchScale, 4)
+		simNS += r.Simulated.Nanoseconds()
 		b.ReportMetric(r.Mpps[11], "12core-Mpps") // paper: 178.5
 	}
+	reportSimWall(b, simNS)
 }
 
 // BenchmarkMulticoreScaling runs the Figure-4 table on the sharded
@@ -67,13 +84,16 @@ func BenchmarkFig4Scaling120G(b *testing.B) {
 // of simulating the whole 2x12-point table, which is also the
 // subsystem's parallel-execution benchmark.
 func BenchmarkMulticoreScaling(b *testing.B) {
+	var simNS float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunMulticoreScaling(benchScale, 14)
+		simNS += r.Simulated.Nanoseconds()
 		b.ReportMetric(r.Mpps[0], "1core-Mpps")
 		b.ReportMetric(r.Mpps[3], "4core-Mpps")
 		b.ReportMetric(r.Mpps[11], "12core-Mpps") // paper: 178.5
 		b.ReportMetric(r.PerCoreMpps, "percore-Mpps")
 	}
+	reportSimWall(b, simNS)
 }
 
 func BenchmarkCostEstimate(b *testing.B) {
@@ -101,11 +121,16 @@ func BenchmarkPacketSizeSweep(b *testing.B) {
 // benchPair builds a connected port pair outside the timed section.
 func benchPair(seed int64) (*core.App, *core.Device, *core.Device, *mempool.Pool) {
 	app := core.NewApp(seed)
-	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0})
+	// TxTrain matches the 63-frame feed bursts: the MAC commits one
+	// whole burst per scheduler event. Train length only coalesces
+	// events — frame departure times stay on the per-frame wire grid —
+	// so the benchmarked datapath work per packet is unchanged.
+	tx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxTrain: 63})
 	rx := app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1})
 	app.ConnectDevices(tx, rx, wire.PHY10GBaseT, 2)
 	rx.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
-	pool := core.CreateMemPool(8192, func(m *mempool.Mbuf) {
+	tx.Link().SetDeliverySlack(nic.SinkDeliverySlack(tx.Speed()))
+	pool := core.CreateSizedMemPool(8192, 256, func(m *mempool.Mbuf) {
 		p := proto.UDPPacket{B: m.Data[:60]}
 		p.Fill(proto.UDPPacketFill{PktLength: 60,
 			IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.1.0.1"),
@@ -338,27 +363,44 @@ func BenchmarkCRCGapScheduling(b *testing.B) {
 
 // BenchmarkSimulatedLineRate measures simulator throughput: simulated
 // packets per wall-clock second at 10 GbE line rate. One iteration
-// simulates a full millisecond of line-rate traffic (≈ 14880 packets).
-// The flood task persists across iterations — the engine's stop time
-// stays at Never, so the task never observes a stop boundary — and the
-// first simulated millisecond warms every recycling path outside the
-// timer. The steady state is the zero-alloc pin of the whole datapath:
+// simulates a full millisecond of line-rate traffic (≈ 14880 packets),
+// so ns/op is directly "wall nanoseconds per simulated millisecond"
+// and the reported sim/wall metric is its reciprocal in natural units:
+// simulated time over wall time, > 1 means faster than realtime. The
+// ratio is the repo's headline speed metric — benchtab records it into
+// BENCH_baseline.json and the bench-check gate fails on collapse.
+//
+// The feeder is event-driven, not a task: a self-rearming engine
+// callback refills the TX ring once per 63-frame train period, so the
+// benchmark prices the datapath (mempool alloc, descriptor ring, MAC
+// train scheduling, wire delivery, recycling), not task-switch
+// overhead. It persists across iterations — the engine's stop time
+// stays at Never, so it never observes a stop boundary — and the first
+// simulated millisecond warms every recycling path outside the timer.
+// The steady state is the zero-alloc pin of the whole datapath:
 // mempool caches, descriptor rings, MAC trains, wheel slot nodes and
 // frame recycling together allocate nothing.
 func BenchmarkSimulatedLineRate(b *testing.B) {
 	app, tx, _, pool := benchPair(20)
 	q := tx.GetTxQueue(0)
-	flood := func(t *core.Task) {
-		bufs := pool.BufArray(63)
-		for t.Running() {
-			n := t.AllocAll(bufs, 60)
-			if n == 0 {
+	ba := pool.BufArray(63)
+	period := 63 * wire.FrameTime(wire.Speed10G, 64)
+	var feed func()
+	feed = func() {
+		for q.Free() >= ba.Len() {
+			n := pool.AllocBatch(ba.Bufs, 60)
+			sent := q.Send(ba.Bufs[:n])
+			for i := sent; i < n; i++ {
+				ba.Bufs[i].Free()
+			}
+			ba.Clear(n)
+			if sent < n {
 				break
 			}
-			t.SendAll(q, bufs.Bufs[:n])
 		}
+		app.Eng.ScheduleAfter(period, feed)
 	}
-	app.LaunchTask("tx", flood)
+	app.Eng.Schedule(app.Eng.Now(), feed)
 	app.Eng.Run(app.Eng.Now().Add(sim.Millisecond)) // warmup millisecond
 	warm := tx.GetStats().TxPackets
 	b.ReportAllocs()
@@ -369,9 +411,10 @@ func BenchmarkSimulatedLineRate(b *testing.B) {
 	b.StopTimer()
 	st := tx.GetStats()
 	b.ReportMetric(float64(st.TxPackets-warm)/float64(b.N), "sim-pkts/iter")
-	// Let the flood task observe the stop and exit cleanly.
-	app.Eng.Stop()
-	app.Eng.RunAll()
+	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
+		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())
+		b.ReportMetric(simNS/float64(wall), "sim/wall")
+	}
 }
 
 // BenchmarkRxBurstSteadyState is the batched RX hot path in isolation:

@@ -30,6 +30,12 @@ type DeviceConfig struct {
 	// RxTrain overrides the receive write-back train (1 = per-packet
 	// publication; default nic.DefaultRxTrain).
 	RxTrain int
+	// TxTrain overrides how many frames the MAC scheduler commits per
+	// event (default nic.DefaultTxTrain). Departure times are computed
+	// on the same per-frame wire grid regardless, so this is a pure
+	// event-coalescing knob: larger trains mean fewer scheduler events
+	// for the same bit-identical wire timing.
+	TxTrain int
 }
 
 // ConfigDevice creates and configures a device on the app's testbed.
@@ -43,6 +49,7 @@ func (a *App) ConfigDevice(cfg DeviceConfig) *Device {
 		TxRingSize:    cfg.TxRing,
 		RxPoolSize:    cfg.RxPool,
 		RxTrain:       cfg.RxTrain,
+		TxTrain:       cfg.TxTrain,
 		ClockDriftPPM: cfg.DriftPPM,
 	})
 	return &Device{Port: port}

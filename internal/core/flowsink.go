@@ -34,6 +34,10 @@ type FlowSink struct {
 	// frames the tracker could not attribute to a flow.
 	Received uint64
 	Bytes    uint64
+
+	// frames is the reusable RecordBatch staging area (one entry per
+	// burst slot, allocated once on first use).
+	frames []flow.Frame
 }
 
 // Run drains until the run ends, then performs a final drain so
@@ -75,12 +79,18 @@ func (s *FlowSink) Run(t *Task) {
 	}
 }
 
-// consume attributes one burst and recycles it.
+// consume attributes one burst through the tracker's train-coalesced
+// path and recycles it.
 func (s *FlowSink) consume(ba *mempool.BufArray, n int) {
-	for _, m := range ba.Slice(n) {
-		s.Tracker.Record(m.Payload(), sim.Time(m.RxMeta.Arrival))
+	if cap(s.frames) < n {
+		s.frames = make([]flow.Frame, len(ba.Bufs))
+	}
+	fr := s.frames[:n]
+	for i, m := range ba.Slice(n) {
+		fr[i] = flow.Frame{Data: m.Payload(), Rx: sim.Time(m.RxMeta.Arrival)}
 		s.Received++
 		s.Bytes += uint64(m.Len)
 	}
+	s.Tracker.RecordBatch(fr)
 	ba.FreeAll()
 }

@@ -37,14 +37,16 @@ const (
 )
 
 func fillPlainUDP(size int) func(m *mempool.Mbuf, i uint64) {
+	// The flow's headers are constant: build the template once and
+	// restore it per packet with a single copy (§5.6 authoring rule).
+	tmpl := proto.NewUDPTemplate(proto.UDPPacketFill{
+		PktLength: size,
+		IPSrc:     proto.MustIPv4("10.0.0.1"),
+		IPDst:     proto.MustIPv4("10.1.0.1"),
+		UDPSrc:    1000, UDPDst: 2000,
+	})
 	return func(m *mempool.Mbuf, i uint64) {
-		p := proto.UDPPacket{B: m.Payload()}
-		p.Fill(proto.UDPPacketFill{
-			PktLength: size,
-			IPSrc:     proto.MustIPv4("10.0.0.1"),
-			IPDst:     proto.MustIPv4("10.1.0.1"),
-			UDPSrc:    1000, UDPDst: 2000,
-		})
+		tmpl.Apply(m.Payload())
 	}
 }
 

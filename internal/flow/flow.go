@@ -333,18 +333,12 @@ func (t *Tracker) Flows() []*Stats {
 	return out
 }
 
-// Record processes one received frame at its arrival instant: key
-// extraction, sequence classification, inter-arrival accumulation and
-// (when enabled and stamped) latency recording. It reports whether the
-// frame carried a flow key. The steady state allocates nothing beyond
-// first sight of a new flow.
-func (t *Tracker) Record(data []byte, rx sim.Time) bool {
-	k, payload, ok := Parse(data)
-	if !ok {
-		t.Unparsed++
-		return false
-	}
-	fs := t.Flow(k)
+// record runs the post-parse attribution for one frame of the flow:
+// counters, inter-arrival accumulation, sequence classification and
+// (when enabled and stamped) latency recording. Record and RecordBatch
+// share this body, which is what makes the two entry points
+// bit-identical by construction.
+func (fs *Stats) record(data, payload []byte, rx sim.Time) {
 	fs.Received++
 	fs.Bytes += uint64(len(data))
 	if fs.hasRx {
@@ -359,7 +353,57 @@ func (t *Tracker) Record(data []byte, rx sim.Time) bool {
 			fs.Latency.Add(rx.Sub(tx))
 		}
 	}
+}
+
+// Record processes one received frame at its arrival instant: key
+// extraction, sequence classification, inter-arrival accumulation and
+// (when enabled and stamped) latency recording. It reports whether the
+// frame carried a flow key. The steady state allocates nothing beyond
+// first sight of a new flow.
+func (t *Tracker) Record(data []byte, rx sim.Time) bool {
+	k, payload, ok := Parse(data)
+	if !ok {
+		t.Unparsed++
+		return false
+	}
+	t.Flow(k).record(data, payload, rx)
 	return true
+}
+
+// Frame is one element of a RecordBatch train: the frame bytes and
+// their descriptor arrival instant.
+type Frame struct {
+	Data []byte
+	Rx   sim.Time
+}
+
+// RecordBatch attributes a whole received train in one call — the RX
+// mirror of the transmit side's train commits. The per-frame work is
+// exactly Record's (the two paths share the attribution body, so their
+// results are bit-identical in any interleaving); what the batch form
+// amortizes is the flow lookup: consecutive frames of the same flow —
+// the common case, since a train drains one wire's FIFO — reuse the
+// previous frame's *Stats instead of re-hashing the 5-tuple into the
+// flow map. It returns the number of frames that carried a flow key.
+func (t *Tracker) RecordBatch(frames []Frame) (recorded int) {
+	var (
+		lastKey Key
+		lastFS  *Stats
+	)
+	for i := range frames {
+		k, payload, ok := Parse(frames[i].Data)
+		if !ok {
+			t.Unparsed++
+			continue
+		}
+		if lastFS == nil || k != lastKey {
+			lastFS = t.Flow(k)
+			lastKey = k
+		}
+		lastFS.record(frames[i].Data, payload, frames[i].Rx)
+		recorded++
+	}
+	return recorded
 }
 
 // Merge folds another tracker into t, matching flows by key: counters

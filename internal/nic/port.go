@@ -216,6 +216,18 @@ func NewPort(eng *sim.Engine, cfg PortConfig) *Port {
 // for a full-duplex connection. ConnectDuplex does both.
 func (p *Port) Connect(l *wire.Link) { p.link = l }
 
+// Link returns the port's outgoing link (nil when unconnected).
+func (p *Port) Link() *wire.Link { return p.link }
+
+// SinkDeliverySlack returns the canonical RX delivery-train deferral
+// for links into counting sinks: one TX train's worth of minimum-sized
+// frames, so steady-state deliveries coalesce into trains of the same
+// depth the MAC scheduler commits. See wire.Link.SetDeliverySlack for
+// the opt-in contract.
+func SinkDeliverySlack(speed wire.Speed) sim.Duration {
+	return sim.Duration(DefaultTxTrain) * wire.FrameTime(speed, proto.MinFrameSizeFCS)
+}
+
 // ConnectDuplex wires a<->b with identical PHY and cable length.
 func ConnectDuplex(eng *sim.Engine, a, b *Port, phy wire.PHYProfile, lengthM float64) {
 	if a.profile.Speed != b.profile.Speed {

@@ -13,7 +13,9 @@ import (
 // DefaultTxTrain is the default cap on frames the MAC scheduler
 // commits per event on the batched fast path — matched to the burst
 // sizes the tasks use so one descriptor-ring burst drains in one
-// scheduler evaluation.
+// scheduler evaluation. Raising it lengthens the precommit horizon,
+// which the §8 CRC-gap stager observes through ring backpressure —
+// TestFig10Equivalence pins that 32 keeps the gap quartiles honest.
 const DefaultTxTrain = 32
 
 // TxQueue is one hardware transmit queue: a descriptor ring the
@@ -267,10 +269,24 @@ func (p *Port) pump() {
 	// under the per-packet scheduler.
 	emitted := 1
 	horizon := now.Add(sim.Duration(p.txTrain) * p.minFrameTime)
+	soleQueue := len(p.txQueues) == 1 // no arbitration possible: skip the rescan
 	for emitted < p.txTrain {
-		sole, multi := p.soleActiveQueue()
-		if multi || (sole != nil && sole.interval != 0) {
-			// Arbitration or shaping: its own evaluation event.
+		var sole *TxQueue
+		if soleQueue {
+			if _, ok := p.txQueues[0].ring.Peek(); ok {
+				sole = p.txQueues[0]
+			}
+		} else {
+			var multi bool
+			sole, multi = p.soleActiveQueue()
+			if multi {
+				// Arbitration: its own evaluation event.
+				p.schedulePump(p.link.NextTxSlot())
+				break
+			}
+		}
+		if sole != nil && sole.interval != 0 {
+			// Shaping: its own evaluation event.
 			p.schedulePump(p.link.NextTxSlot())
 			break
 		}

@@ -31,6 +31,18 @@ func finishChecksum(acc uint32) uint16 {
 	return ^uint16(acc)
 }
 
+// UpdateChecksum16 folds one 16-bit field change (oldField → newField)
+// into an existing Internet checksum without re-walking the covered
+// data: RFC 1624 §3, HC' = ~(~HC + ~m + m'). For any header whose
+// covered bytes are not all zero (every real IPv4 header, because of
+// the version/IHL byte) the result is bit-identical to a full
+// recompute, including the 0x0000/0xFFFF negative-zero corner — the
+// template property tests pin this. Multi-word fields (addresses) are
+// updated by chaining one call per 16-bit word.
+func UpdateChecksum16(old, oldField, newField uint16) uint16 {
+	return finishChecksum(uint32(^old) + uint32(^oldField) + uint32(newField))
+}
+
 // PseudoHeaderChecksumIPv4 computes the unfolded pseudo-header sum for
 // UDP/TCP over IPv4. The paper notes (§5.6.1) that the X540 does not
 // compute this part in hardware, so MoonGen calculates it in software

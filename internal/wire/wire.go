@@ -177,10 +177,15 @@ type Link struct {
 	// phy.PathLatency(lengthM): both involve float division/rounding
 	// and the transmit path needs them per frame. The cached values are
 	// the exact same picosecond quantities the formulas produce, so
-	// timing is bit-identical to recomputing.
+	// timing is bit-identical to recomputing. The jitter parameters are
+	// hoisted the same way: PHYProfile.Jitter copies the whole profile
+	// struct per call, and the transmit path draws once per frame.
 	byteTime  sim.Duration
 	pathLat   sim.Duration
 	hasJitter bool
+	smallNS   float64 // phy.SmallJitterNS
+	rangeNS   float64 // phy.RangeNS
+	largePct  float64 // phy.LargeJitterPct
 
 	busyUntil sim.Time // wire occupied until this instant (TX side)
 	seq       uint64
@@ -198,6 +203,7 @@ type Link struct {
 	pending   ring.FIFO[delivery]
 	deliverFn func()
 	lastRx    sim.Time
+	slack     sim.Duration // delivery-train deferral (see SetDeliverySlack)
 
 	// freeFrames recycles delivered frames (bounded; see release).
 	freeFrames []*Frame
@@ -217,6 +223,9 @@ func NewLink(eng *sim.Engine, speed Speed, phy PHYProfile, lengthM float64, peer
 		byteTime:  ByteTime(speed),
 		pathLat:   phy.PathLatency(lengthM),
 		hasJitter: phy.SmallJitterNS != 0,
+		smallNS:   phy.SmallJitterNS,
+		rangeNS:   phy.RangeNS,
+		largePct:  phy.LargeJitterPct,
 		jitterRNG: eng.NewRand(),
 	}
 	l.deliverFn = l.deliver
@@ -269,7 +278,15 @@ func (l *Link) TransmitAt(f *Frame, start sim.Time) sim.Time {
 
 	rxTime := start.Add(l.pathLat)
 	if l.hasJitter {
-		rxTime = rxTime.Add(l.phy.Jitter(l.jitterRNG))
+		// Inlined PHYProfile.Jitter over the hoisted parameters: same
+		// RNG draws, same arithmetic, no per-frame profile struct copy.
+		var jit sim.Duration
+		if l.largePct > 0 && l.jitterRNG.Float64() < l.largePct {
+			jit = sim.FromNanoseconds(l.jitterRNG.Float64()*l.rangeNS - l.rangeNS/2)
+		} else {
+			jit = sim.FromNanoseconds(l.jitterRNG.Float64()*2*l.smallNS - l.smallNS)
+		}
+		rxTime = rxTime.Add(jit)
 	}
 	if rxTime < l.lastRx {
 		// A serial link cannot reorder: clamp pathological jitter draws
@@ -295,19 +312,42 @@ func (l *Link) AcquireFrame() *Frame {
 	return f
 }
 
+// SetDeliverySlack enables the RX delivery train — the receive-side
+// mirror of the MAC scheduler's transmit trains. Instead of one event
+// per frame at its exact receive instant, the link arms the delivery
+// event up to slack past the head frame's rxTime; every frame due by
+// then (the frames that accumulated one serialization time apart) is
+// delivered in that single event. Each DeliverFrame call still carries
+// the frame's exact rxTime — only the engine instant at which the
+// callback executes is deferred, by at most slack. Zero restores
+// per-frame delivery.
+//
+// Opt-in contract: only enable this on links whose endpoint consumes
+// every frame as a pure function of the frame bytes and the rxTime
+// argument — the counting deliver-hook sinks of the scaling testbeds.
+// Endpoints that admit frames into receive rings, latch PTP
+// timestamps, or forward frames onward observe the delivery instant
+// itself as simulation state and must keep per-frame delivery.
+func (l *Link) SetDeliverySlack(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("wire: negative delivery slack %v", d))
+	}
+	l.slack = d
+}
+
 // push appends to the in-flight FIFO and arms the head delivery event
 // when the FIFO was empty. rxTimes are monotonic (see TransmitAt), so a
 // single outstanding event per link suffices.
 func (l *Link) push(f *Frame, at sim.Time) {
 	if l.pending.Len() == 0 {
-		l.eng.Schedule(at, l.deliverFn)
+		l.eng.Schedule(at.Add(l.slack), l.deliverFn)
 	}
 	l.pending.Push(delivery{f: f, at: at})
 }
 
-// deliver fires at the head frame's receive instant: it delivers every
-// due frame in FIFO order, recycles non-retained frames, and re-arms
-// itself for the next pending frame.
+// deliver fires at the head frame's receive instant (plus the delivery
+// slack, if set): it delivers every due frame in FIFO order, recycles
+// non-retained frames, and re-arms itself for the next pending frame.
 func (l *Link) deliver() {
 	now := l.eng.Now()
 	for {
@@ -316,7 +356,7 @@ func (l *Link) deliver() {
 			return
 		}
 		if d.at > now {
-			l.eng.Schedule(d.at, l.deliverFn)
+			l.eng.Schedule(d.at.Add(l.slack), l.deliverFn)
 			return
 		}
 		l.pending.Pop()
