@@ -20,6 +20,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rate"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -411,6 +412,56 @@ func BenchmarkSimulatedLineRate(b *testing.B) {
 	b.StopTimer()
 	st := tx.GetStats()
 	b.ReportMetric(float64(st.TxPackets-warm)/float64(b.N), "sim-pkts/iter")
+	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
+		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())
+		b.ReportMetric(simNS/float64(wall), "sim/wall")
+	}
+}
+
+// BenchmarkTelemetryOverhead is BenchmarkSimulatedLineRate with the
+// telemetry recorder live at the default 1 ms window: port probes on
+// both ends plus the engine probe, sampled by snapshot events on the
+// scheduler's own grid. The comparison against the plain line-rate
+// bench prices the observability layer; the pins are 0 allocs/op in
+// steady state (preallocated ring, prebound tick closure, atomic
+// counter reads) and a sim/wall ratio that stays within the bench
+// gate — recording must not cost realtime.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	app, tx, rx, pool := benchPair(23)
+	rec := telemetry.NewRecorder(app.Eng, telemetry.Config{Interval: telemetry.DefaultInterval})
+	rec.Register(telemetry.PortProbe("tx", tx.Port))
+	rec.Register(telemetry.PortProbe("rx", rx.Port))
+	rec.Register(telemetry.EngineProbe(app.Eng))
+	rec.Start()
+	q := tx.GetTxQueue(0)
+	ba := pool.BufArray(63)
+	period := 63 * wire.FrameTime(wire.Speed10G, 64)
+	var feed func()
+	feed = func() {
+		for q.Free() >= ba.Len() {
+			n := pool.AllocBatch(ba.Bufs, 60)
+			sent := q.Send(ba.Bufs[:n])
+			for i := sent; i < n; i++ {
+				ba.Bufs[i].Free()
+			}
+			ba.Clear(n)
+			if sent < n {
+				break
+			}
+		}
+		app.Eng.ScheduleAfter(period, feed)
+	}
+	app.Eng.Schedule(app.Eng.Now(), feed)
+	app.Eng.Run(app.Eng.Now().Add(sim.Millisecond)) // warmup: first window recorded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Eng.Run(app.Eng.Now().Add(sim.Millisecond))
+	}
+	b.StopTimer()
+	if rec.Windows() < uint64(b.N) {
+		b.Fatalf("recorded %d windows over %d simulated milliseconds", rec.Windows(), b.N)
+	}
 	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
 		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())
 		b.ReportMetric(simNS/float64(wall), "sim/wall")

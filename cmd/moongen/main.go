@@ -10,12 +10,8 @@
 //	moongen list
 //	moongen <scenario> [flags]
 //
-// Flags override the scenario's default spec: -rate (Mpps), -size
-// (bytes, without FCS), -runtime (ms), -seed, -pattern, -burst,
-// -probes, -samples, -steps, -dut, -flows (size of the declared flow
-// set for flow-tracked scenarios), -cores (> 1 shards the scenario
-// across that many engines, one goroutine per modeled core, and
-// merges the per-shard reports).
+// Flags override the scenario's default spec; the flagDefs table below
+// is the single source for both the FlagSet and the usage synopsis.
 package main
 
 import (
@@ -23,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -31,6 +28,96 @@ import (
 	// timestamps).
 	_ "repro/internal/experiments"
 )
+
+// options collects the parsed flag values before they are applied onto
+// the scenario's default spec.
+type options struct {
+	rateMpps    float64
+	size        int
+	runMS       float64
+	seed        int64
+	pattern     string
+	burst       int
+	batch       int
+	probes      int
+	samples     int
+	steps       int
+	useDuT      bool
+	cores       int
+	flows       int
+	telemetry   string
+	telemetryMS float64
+	telemetryDg bool
+}
+
+// flagDefs is the single source of truth for the CLI flags: each entry
+// registers its flag on the FlagSet and contributes its synopsis
+// fragment to usage(). TestUsageCoversEveryFlag pins that the two views
+// never drift apart.
+var flagDefs = []struct {
+	synopsis string
+	register func(fs *flag.FlagSet, o *options, spec scenario.Spec)
+}{
+	{"-rate M", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.Float64Var(&o.rateMpps, "rate", spec.RateMpps, "rate [Mpps] (0 = line rate where applicable)")
+	}},
+	{"-size B", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.size, "size", spec.PktSize, "frame size without FCS")
+	}},
+	{"-runtime MS", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.Float64Var(&o.runMS, "runtime", spec.Runtime.Seconds()*1e3, "simulated run time [ms]")
+	}},
+	{"-seed N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.Int64Var(&o.seed, "seed", spec.Seed, "simulation seed")
+	}},
+	{"-pattern P", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.StringVar(&o.pattern, "pattern", string(spec.Pattern), "pattern: linerate, cbr, poisson or bursts")
+	}},
+	{"-burst N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.burst, "burst", spec.Burst, "burst size for the bursts pattern")
+	}},
+	{"-batch N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.batch, "batch", spec.Batch, "TX burst size through the batched datapath (1 = per-packet)")
+	}},
+	{"-probes N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.probes, "probes", spec.Probes, "timestamped latency probes (0 = none)")
+	}},
+	{"-samples N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.samples, "samples", spec.Samples, "samples for distribution measurements")
+	}},
+	{"-steps N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.steps, "steps", spec.Steps, "sweep steps for sweeping scenarios")
+	}},
+	{"-dut", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.BoolVar(&o.useDuT, "dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
+	}},
+	{"-cores N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.cores, "cores", spec.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
+	}},
+	{"-flows N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.flows, "flows", len(spec.Flows), "declared flow count (0 keeps the scenario's default flow set)")
+	}},
+	{"-telemetry PATH", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.StringVar(&o.telemetry, "telemetry", "", "record windowed telemetry to PATH (.jsonl switches to JSONL, else CSV)")
+	}},
+	{"-telemetry-interval MS", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.Float64Var(&o.telemetryMS, "telemetry-interval", 1, "telemetry window length [ms of simulated time]")
+	}},
+	{"-telemetry-diag", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.BoolVar(&o.telemetryDg, "telemetry-diag", false, "include diagnostic columns (engine/pool internals; vary with -cores/-batch)")
+	}},
+}
+
+// newFlagSet builds the scenario FlagSet from flagDefs, seeded with the
+// scenario's default spec.
+func newFlagSet(name string, spec scenario.Spec) (*flag.FlagSet, *options) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	o := &options{}
+	for _, d := range flagDefs {
+		d.register(fs, o, spec)
+	}
+	return fs, o
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -50,39 +137,24 @@ func main() {
 	}
 
 	spec := sc.DefaultSpec()
-	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	var (
-		rateMpps = fs.Float64("rate", spec.RateMpps, "rate [Mpps] (0 = line rate where applicable)")
-		size     = fs.Int("size", spec.PktSize, "frame size without FCS")
-		runMS    = fs.Float64("runtime", spec.Runtime.Seconds()*1e3, "simulated run time [ms]")
-		seed     = fs.Int64("seed", spec.Seed, "simulation seed")
-		pattern  = fs.String("pattern", string(spec.Pattern), "pattern: linerate, cbr, poisson or bursts")
-		burst    = fs.Int("burst", spec.Burst, "burst size for the bursts pattern")
-		batch    = fs.Int("batch", spec.Batch, "TX burst size through the batched datapath (1 = per-packet)")
-		probes   = fs.Int("probes", spec.Probes, "timestamped latency probes (0 = none)")
-		samples  = fs.Int("samples", spec.Samples, "samples for distribution measurements")
-		steps    = fs.Int("steps", spec.Steps, "sweep steps for sweeping scenarios")
-		useDuT   = fs.Bool("dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
-		cores    = fs.Int("cores", spec.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
-		flows    = fs.Int("flows", len(spec.Flows), "declared flow count (0 keeps the scenario's default flow set)")
-	)
+	fs, o := newFlagSet(name, spec)
 	_ = fs.Parse(os.Args[2:])
 
-	spec.RateMpps = *rateMpps
-	spec.PktSize = *size
-	if *runMS > 0 {
-		spec.Runtime = sim.FromSeconds(*runMS / 1e3)
+	spec.RateMpps = o.rateMpps
+	spec.PktSize = o.size
+	if o.runMS > 0 {
+		spec.Runtime = sim.FromSeconds(o.runMS / 1e3)
 	}
-	spec.Seed = *seed
-	spec.Pattern = scenario.Pattern(*pattern)
-	spec.Burst = *burst
-	spec.Batch = *batch
-	spec.Probes = *probes
-	spec.Samples = *samples
-	spec.Steps = *steps
-	spec.UseDuT = *useDuT
-	spec.Cores = *cores
-	if *flows > 0 && *flows != len(spec.Flows) {
+	spec.Seed = o.seed
+	spec.Pattern = scenario.Pattern(o.pattern)
+	spec.Burst = o.burst
+	spec.Batch = o.batch
+	spec.Probes = o.probes
+	spec.Samples = o.samples
+	spec.Steps = o.steps
+	spec.UseDuT = o.useDuT
+	spec.Cores = o.cores
+	if o.flows > 0 && o.flows != len(spec.Flows) {
 		// Resizing is only meaningful for scenarios whose default flow
 		// set is the generic FlowSet; curated flow sets (qos's shaped
 		// EF/BE pair) carry per-flow rates and marks a generic
@@ -92,13 +164,54 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scenario %s does not take a flow count; -flows only applies to flow-tracked scenarios\n", name)
 			os.Exit(2)
 		}
-		spec.Flows = scenario.FlowSet(*flows)
+		spec.Flows = scenario.FlowSet(o.flows)
+	}
+
+	var telFile *os.File
+	if o.telemetry != "" {
+		if o.telemetryMS <= 0 {
+			fmt.Fprintln(os.Stderr, "-telemetry-interval must be > 0")
+			os.Exit(2)
+		}
+		spec.TelemetryInterval = sim.FromSeconds(o.telemetryMS / 1e3)
+		spec.TelemetryJSONL = strings.HasSuffix(o.telemetry, ".jsonl")
+		spec.TelemetryDiag = o.telemetryDg
+		f, err := os.Create(o.telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telFile = f
+		if spec.Cores <= 1 {
+			// Single engine: rows stream to the file as they are
+			// recorded. Sharded runs write the merged series below —
+			// per-shard streams would carry partial counters.
+			spec.TelemetryStream = f
+		}
 	}
 
 	rep, err := scenario.Execute(name, spec, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if telFile != nil {
+		if spec.TelemetryStream == nil {
+			if rep.Telemetry == nil {
+				fmt.Fprintf(os.Stderr, "telemetry: scenario %s produced no series (it bypasses the standard testbed)\n", name)
+			} else if spec.TelemetryJSONL {
+				err = rep.Telemetry.WriteJSONL(telFile, spec.TelemetryDiag)
+			} else {
+				err = rep.Telemetry.WriteCSV(telFile, spec.TelemetryDiag)
+			}
+		}
+		if cerr := telFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
 	}
 	rep.Print(os.Stdout)
 }
@@ -127,8 +240,20 @@ func runList(w io.Writer) {
 	scenario.WriteList(w)
 }
 
+// synopsis renders the one-line flag summary from flagDefs.
+func synopsis() string {
+	var b strings.Builder
+	b.WriteString("usage: moongen <scenario>")
+	for _, d := range flagDefs {
+		b.WriteString(" [")
+		b.WriteString(d.synopsis)
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: moongen <scenario> [-rate M] [-size B] [-runtime MS] [-seed N] [-pattern P] [-probes N] [-dut] [-cores N] [-batch N] ...")
+	fmt.Fprintln(os.Stderr, synopsis())
 	fmt.Fprintln(os.Stderr, "       moongen list")
 	fmt.Fprintln(os.Stderr)
 	runList(os.Stderr)

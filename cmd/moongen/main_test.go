@@ -1,10 +1,47 @@
 package main
 
 import (
+	"flag"
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
+
+// TestUsageCoversEveryFlag pins the flagDefs table as the single source
+// of the CLI surface: the flags the FlagSet registers and the flags the
+// usage synopsis advertises are the same set, one-to-one.
+func TestUsageCoversEveryFlag(t *testing.T) {
+	fs, _ := newFlagSet("test", scenario.Spec{})
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+
+	advertised := map[string]bool{}
+	for _, d := range flagDefs {
+		name := strings.TrimPrefix(strings.Fields(d.synopsis)[0], "-")
+		if advertised[name] {
+			t.Errorf("flag -%s advertised twice in the synopsis", name)
+		}
+		advertised[name] = true
+	}
+	for name := range registered {
+		if !advertised[name] {
+			t.Errorf("flag -%s registered but missing from the usage synopsis", name)
+		}
+	}
+	for name := range advertised {
+		if !registered[name] {
+			t.Errorf("flag -%s advertised in usage but never registered", name)
+		}
+	}
+	if len(registered) != len(flagDefs) {
+		t.Errorf("%d flags registered from %d flagDefs entries — an entry registers zero or multiple flags", len(registered), len(flagDefs))
+	}
+	if !strings.HasPrefix(synopsis(), "usage: moongen <scenario> [") {
+		t.Errorf("synopsis lost its prefix: %q", synopsis())
+	}
+}
 
 // TestListDeterministicSortedDescribed pins the `moongen list` output:
 // byte-identical across calls, scenarios in sorted order, and a

@@ -109,8 +109,9 @@ func goldenCompare(t *testing.T, name, got string) {
 
 // runGoldenScenario executes a flow-tracked scenario at the canonical
 // golden configuration (10 ms, seed 5, two sharded cores so the merge
-// path is inside the gate).
-func runGoldenScenario(t *testing.T, name string) *scenario.Report {
+// path is inside the gate). withTelemetry additionally records the
+// 1 ms telemetry series.
+func runGoldenScenario(t *testing.T, name string, withTelemetry bool) *scenario.Report {
 	t.Helper()
 	sc, ok := scenario.Get(name)
 	if !ok {
@@ -120,11 +121,33 @@ func runGoldenScenario(t *testing.T, name string) *scenario.Report {
 	spec.Runtime = 10 * sim.Millisecond
 	spec.Seed = 5
 	spec.Cores = 2
+	if withTelemetry {
+		spec.TelemetryInterval = sim.Millisecond
+	}
 	rep, err := scenario.Execute(name, spec, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rep
+}
+
+// goldenTelemetryCSV renders the golden scenario's merged telemetry
+// series with the diagnostic columns included: at the pinned
+// configuration every column — engine internals and latency quantiles
+// included — is a deterministic function of the seed, so the full
+// series is golden-gateable even though only the model columns are
+// invariant across core counts.
+func goldenTelemetryCSV(t *testing.T, name string) string {
+	t.Helper()
+	rep := runGoldenScenario(t, name, true)
+	if rep.Telemetry == nil {
+		t.Fatalf("%s: no telemetry series in the merged report", name)
+	}
+	var b strings.Builder
+	if err := rep.Telemetry.WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
 }
 
 // TestExperimentsGolden is the CI golden-run job's entry point
@@ -152,12 +175,18 @@ func TestExperimentsGolden(t *testing.T) {
 	})
 	t.Run("loss-overload", func(t *testing.T) {
 		var b strings.Builder
-		reportCSV(&b, runGoldenScenario(t, "loss-overload"))
+		reportCSV(&b, runGoldenScenario(t, "loss-overload", false))
 		goldenCompare(t, "loss_overload.csv", b.String())
 	})
 	t.Run("reorder", func(t *testing.T) {
 		var b strings.Builder
-		reportCSV(&b, runGoldenScenario(t, "reorder"))
+		reportCSV(&b, runGoldenScenario(t, "reorder", false))
 		goldenCompare(t, "reorder.csv", b.String())
+	})
+	t.Run("telemetry-softcbr", func(t *testing.T) {
+		goldenCompare(t, "telemetry_softcbr.csv", goldenTelemetryCSV(t, "softcbr"))
+	})
+	t.Run("telemetry-loss-overload", func(t *testing.T) {
+		goldenCompare(t, "telemetry_loss_overload.csv", goldenTelemetryCSV(t, "loss-overload"))
 	})
 }

@@ -58,6 +58,12 @@ func (a *App) TxPool() *mempool.Pool {
 	return a.txPool
 }
 
+// TxPoolPeek returns the shared transmit pool without forcing its
+// lazy creation — nil while no TX loop has drawn from it. Monitoring
+// code samples through this so observing an app that fills from its
+// own sized pools never materializes the shared pool.
+func (a *App) TxPoolPeek() *mempool.Pool { return a.txPool }
+
 // TxCache returns the engine's allocation front over TxPool — the
 // per-core mempool cache of this modeled core (one App is one engine
 // is one core; all tasks of the engine run serialized, so they share

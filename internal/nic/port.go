@@ -2,6 +2,7 @@ package nic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mempool"
 	"repro/internal/proto"
@@ -52,7 +53,21 @@ type Port struct {
 	rxCache    *mempool.Cache
 	rxPoolSize int
 
-	stats Stats
+	// Statistics registers. The hot paths stage increments in the plain
+	// stage struct (engine-owned, touched per packet) and publish them
+	// to the atomic registers once per train: the MAC scheduler flushes
+	// at the end of its pump event, and the receive path arms one
+	// same-instant publish event (prebound publishFn) the first time an
+	// instant dirties the staging. Readers go through CounterSnapshot.
+	ctrTxPackets   atomic.Uint64
+	ctrTxBytes     atomic.Uint64
+	ctrRxPackets   atomic.Uint64
+	ctrRxBytes     atomic.Uint64
+	ctrRxCRCErrors atomic.Uint64
+	ctrRxMissed    atomic.Uint64
+	stage          Stats // unpublished deltas, flushed by publishStats
+	pubArmed       bool
+	publishFn      func()
 
 	// PTP timestamping configuration and latch registers. The
 	// datasheet semantics are preserved: one latch per direction, and
@@ -202,6 +217,7 @@ func NewPort(eng *sim.Engine, cfg PortConfig) *Port {
 	}
 	p.pumpFn = p.pumpEvent
 	p.completeFn = p.completeTx
+	p.publishFn = p.publishStats
 	for i := 0; i < cfg.TxQueues; i++ {
 		p.txQueues = append(p.txQueues, newTxQueue(p, i, cfg.TxRingSize))
 	}
@@ -283,6 +299,12 @@ func (p *Port) RxPool() *mempool.Pool {
 	return p.rxPool
 }
 
+// RxPoolPeek returns the receive mempool without forcing its lazy
+// creation — nil until the port first receives through the driver
+// path. Monitoring code samples through this so observing a TX-only
+// port never materializes a receive slab it will not use.
+func (p *Port) RxPoolPeek() *mempool.Pool { return p.rxPool }
+
 // RxBufArray returns a burst wrapper for draining this port's receive
 // queues: its FreeAll recycles buffers through the port's receive
 // cache, so a drain loop returns a whole burst under at most one pool
@@ -305,8 +327,71 @@ func (p *Port) RecycleRx(bufs []*mempool.Mbuf) {
 	}
 }
 
-// GetStats returns a snapshot of the statistics registers.
-func (p *Port) GetStats() Stats { return p.stats }
+// CounterSnapshot returns one snapshot of the statistics registers.
+// Read from simulation context (an event or process on the port's
+// engine) the snapshot is exact: staged deltas are published at event
+// granularity, so any event that fires after a train's publish sees the
+// whole train. Cross-goroutine readers get monotonic per-register
+// atomic loads — safe, but a register pair read mid-publish may span a
+// train boundary.
+func (p *Port) CounterSnapshot() Stats {
+	return Stats{
+		TxPackets:   p.ctrTxPackets.Load(),
+		TxBytes:     p.ctrTxBytes.Load(),
+		RxPackets:   p.ctrRxPackets.Load(),
+		RxBytes:     p.ctrRxBytes.Load(),
+		RxCRCErrors: p.ctrRxCRCErrors.Load(),
+		RxMissed:    p.ctrRxMissed.Load(),
+	}
+}
+
+// GetStats is CounterSnapshot under its DPDK-flavored legacy name.
+func (p *Port) GetStats() Stats { return p.CounterSnapshot() }
+
+// publishStats flushes the staged counter deltas into the atomic
+// registers. It runs at the end of every transmit pump and as the
+// receive path's same-instant publish event — one atomic add per
+// register per train instead of per packet, which is what keeps the
+// per-packet budget of the sim/wall ≥ 1 contract intact.
+func (p *Port) publishStats() {
+	p.pubArmed = false
+	s := &p.stage
+	if s.TxPackets != 0 {
+		p.ctrTxPackets.Add(s.TxPackets)
+		p.ctrTxBytes.Add(s.TxBytes)
+		s.TxPackets, s.TxBytes = 0, 0
+	}
+	if s.RxPackets != 0 {
+		p.ctrRxPackets.Add(s.RxPackets)
+		p.ctrRxBytes.Add(s.RxBytes)
+		s.RxPackets, s.RxBytes = 0, 0
+	}
+	if s.RxCRCErrors != 0 {
+		p.ctrRxCRCErrors.Add(s.RxCRCErrors)
+		s.RxCRCErrors = 0
+	}
+	if s.RxMissed != 0 {
+		p.ctrRxMissed.Add(s.RxMissed)
+		s.RxMissed = 0
+	}
+}
+
+// FlushStats implements wire.StatsFlusher: the link calls it once at
+// the end of every delivery event, so receive-path staging publishes
+// at train granularity without any extra scheduled event.
+func (p *Port) FlushStats() { p.publishStats() }
+
+// markStatsDirty arms a same-instant publish event for staging dirtied
+// outside the two train flush points (pump epilogue, link delivery
+// end) — e.g. a consumer-side write-back overflow. The event is armed
+// once per dirty instant; re-entrant same-instant staging after the
+// publish fires re-arms it.
+func (p *Port) markStatsDirty() {
+	if !p.pubArmed {
+		p.pubArmed = true
+		p.eng.Schedule(p.eng.Now(), p.publishFn)
+	}
+}
 
 // EnableTimestamps turns on the PTP filter (EtherType 0x88F7 and UDP
 // port udpPort; 0 keeps the default 319).
@@ -433,11 +518,11 @@ func (p *Port) DeliverFrame(f *wire.Frame, rxTime sim.Time) {
 	// counter moves (§8.1) — the packet processing logic upstream
 	// never sees them.
 	if !f.CRCOK || f.WireSize < proto.MinFrameSizeFCS {
-		p.stats.RxCRCErrors++
+		p.stage.RxCRCErrors++
 		return
 	}
-	p.stats.RxPackets++
-	p.stats.RxBytes += uint64(len(f.Data))
+	p.stage.RxPackets++
+	p.stage.RxBytes += uint64(len(f.Data))
 
 	// 2. PTP filter: latch the receive timestamp if the register is
 	// free ("this register must be read back before a new packet can
@@ -464,7 +549,7 @@ func (p *Port) DeliverFrame(f *wire.Frame, rxTime sim.Time) {
 	m := p.rxCache.Alloc(len(f.Data))
 	if m == nil {
 		q.missed.Add(1)
-		p.stats.RxMissed++
+		p.stage.RxMissed++
 		return
 	}
 	copy(m.Data, f.Data)

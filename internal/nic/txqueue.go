@@ -313,6 +313,7 @@ func (p *Port) pump() {
 		p.schedulePump(p.link.NextTxSlot())
 	}
 	p.armCompletions()
+	p.publishStats()
 }
 
 // soleActiveQueue returns the only TX queue with pending frames, or
@@ -455,8 +456,8 @@ func (p *Port) transmitFrameAt(q *TxQueue, m *mempool.Mbuf, start sim.Time) {
 	p.lastTxStart = start
 	p.hasTxStart = true
 
-	p.stats.TxPackets++
-	p.stats.TxBytes += uint64(m.Len)
+	p.stage.TxPackets++
+	p.stage.TxBytes += uint64(m.Len)
 	q.sent++
 	q.sentBytes += uint64(m.Len)
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -33,6 +34,7 @@ type Env struct {
 	dutIn *core.Device
 	fwd   *dut.Forwarder
 	ts    *core.Timestamper
+	rec   *telemetry.Recorder
 }
 
 // NewEnv prepares an environment for spec. The testbed itself is built
@@ -73,15 +75,30 @@ func (e *Env) build() {
 	if e.Spec.UseDuT {
 		bed := NewDuTBed(e.app, txQueues)
 		e.tx, e.rx, e.dutIn, e.fwd, e.ts = bed.Gen, bed.Sink, bed.DuTIn, bed.Fwd, bed.TS
-		return
+	} else {
+		e.tx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: txQueues})
+		e.rx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
+		e.app.ConnectDevices(e.tx, e.rx, wire.PHY10GBaseT, 2)
 	}
-	e.tx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 0, TxQueues: txQueues})
-	e.rx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
-	e.app.ConnectDevices(e.tx, e.rx, wire.PHY10GBaseT, 2)
+	if e.Spec.TelemetryInterval > 0 {
+		e.rec = telemetry.NewRecorder(e.app.Eng, telemetry.Config{
+			Interval:    e.Spec.TelemetryInterval,
+			Stream:      e.Spec.TelemetryStream,
+			StreamJSONL: e.Spec.TelemetryJSONL,
+			StreamDiag:  e.Spec.TelemetryDiag,
+		})
+		e.rec.Register(telemetry.PortProbe("tx", e.tx.Port))
+		e.rec.Register(telemetry.PortProbe("rx", e.rx.Port))
+	}
 }
 
 // App returns the simulation app (building the testbed on first use).
 func (e *Env) App() *core.App { e.build(); return e.app }
+
+// Recorder returns the telemetry recorder, nil unless
+// Spec.TelemetryInterval is set. Scenarios may register extra probes on
+// it any time before RunAndCollect starts the run.
+func (e *Env) Recorder() *telemetry.Recorder { e.build(); return e.rec }
 
 // TX returns the generator device.
 func (e *Env) TX() *core.Device { e.build(); return e.tx }
@@ -194,6 +211,14 @@ func (e *Env) DrainRx() {
 // must not also call DrainRx.
 func (e *Env) LaunchFlowSink(tr *flow.Tracker) *core.FlowSink {
 	e.build()
+	if e.rec != nil {
+		flows := e.Spec.EffectiveFlows()
+		cols := make([]telemetry.FlowCol, len(flows))
+		for i, f := range flows {
+			cols[i] = telemetry.FlowCol{Label: f.Name, Key: trackerKey(f)}
+		}
+		e.rec.Register(telemetry.FlowProbe(tr, cols))
+	}
 	s := &core.FlowSink{Queue: e.rx.GetRxQueue(0), Tracker: tr, Batch: e.Spec.Batch}
 	e.app.LaunchTask("flow-sink", s.Run)
 	return s
@@ -223,7 +248,7 @@ func (e *Env) CollectDuT(rep *Report) {
 	rep.AddRow("DuT dropped", float64(e.fwd.Dropped), "packets")
 	rep.AddRow("DuT interrupts", float64(e.fwd.Interrupts), "ints")
 	rep.AddRow("DuT interrupt rate", e.fwd.InterruptRate(e.Spec.Runtime), "Hz")
-	rep.AddRow("DuT-ingress crc-dropped (fillers)", float64(e.dutIn.GetStats().RxCRCErrors), "packets")
+	rep.AddRow("DuT-ingress crc-dropped (fillers)", float64(e.dutIn.CounterSnapshot().RxCRCErrors), "packets")
 }
 
 // LaunchProbes starts the latency-probing task when Spec.Probes > 0:
@@ -255,10 +280,20 @@ func (e *Env) LaunchProbes(rep *Report) {
 func (e *Env) RunAndCollect(rep *Report) {
 	e.build()
 	window := e.Spec.Runtime
+	if e.rec != nil {
+		// Engine and pool probes register last so their diagnostic
+		// columns trail the model columns, and Start arms the first
+		// window tick before the run begins.
+		e.rec.Register(telemetry.EngineProbe(e.app.Eng))
+		if pool := e.app.TxPoolPeek(); pool != nil {
+			e.rec.Register(telemetry.PoolProbe("txpool", pool))
+		}
+		e.rec.Start()
+	}
 	var txStop, rxStop nic.Stats
 	e.app.Eng.Schedule(e.app.Now().Add(window), func() {
-		txStop = e.tx.GetStats()
-		rxStop = e.rx.GetStats()
+		txStop = e.tx.CounterSnapshot()
+		rxStop = e.rx.CounterSnapshot()
 	})
 	e.app.RunFor(window)
 
@@ -272,6 +307,9 @@ func (e *Env) RunAndCollect(rep *Report) {
 	secs := window.Seconds()
 	rep.RxMpps = float64(rxStop.RxPackets) / secs / 1e6
 	rep.RxGbpsWire = float64(rxStop.RxBytes+rxStop.RxPackets*(proto.FCSLen+proto.WireOverhead)) * 8 / secs / 1e9
+	if e.rec != nil {
+		rep.Telemetry = e.rec.Series()
+	}
 }
 
 // --- shared testbed builders (also used by internal/experiments) -----

@@ -20,6 +20,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Pattern selects the inter-departure process of a load scenario.
@@ -142,6 +143,24 @@ type Spec struct {
 	// UseDuT routes traffic through the simulated Open vSwitch
 	// forwarder (generator → DuT → sink) instead of a direct cable.
 	UseDuT bool
+	// TelemetryInterval, when > 0, enables the telemetry recorder on
+	// the Env testbed: windowed counter snapshots every interval of
+	// simulated time, returned in Report.Telemetry. Intervals that
+	// divide Runtime give exactly Runtime/interval windows. See
+	// internal/telemetry for the determinism contract.
+	TelemetryInterval sim.Duration
+	// TelemetryStream, when set alongside TelemetryInterval, receives
+	// every telemetry row as it is recorded (live streaming for long
+	// soaks). Sharded runs ignore it — per-shard rows are partial;
+	// the merged series in Report.Telemetry is the run's output.
+	TelemetryStream io.Writer
+	// TelemetryJSONL switches the stream to JSONL.
+	TelemetryJSONL bool
+	// TelemetryDiag includes diagnostic columns (engine internals,
+	// pool occupancy) in the stream. Diagnostic values vary with Batch
+	// and Cores by design; the default stream carries only model
+	// columns, which are invariant.
+	TelemetryDiag bool
 }
 
 // withDefaults fills the zero fields every scenario relies on.
@@ -266,6 +285,11 @@ type Report struct {
 	Flows []FlowReport
 	Rows  []Row
 	Notes []string
+
+	// Telemetry is the windowed time series recorded when
+	// Spec.TelemetryInterval is set (merged across shards for sharded
+	// runs); nil for scenarios that bypass the Env testbed.
+	Telemetry *telemetry.Series
 }
 
 // AddRow appends a scenario-specific metric.

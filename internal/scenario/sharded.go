@@ -8,6 +8,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // share splits an integer budget across k shards: shard i of k gets
@@ -54,6 +55,9 @@ func (s Spec) ShardSpec(i, k int) Spec {
 	}
 	out.Probes = share(s.Probes, i, k)
 	out.Samples = share(s.Samples, i, k)
+	// A per-shard stream would carry partial counters; the merged
+	// series in the final report is the sharded run's telemetry.
+	out.TelemetryStream = nil
 	if len(s.Flows) > 0 {
 		out.Flows = make([]Flow, len(s.Flows))
 		copy(out.Flows, s.Flows)
@@ -106,9 +110,13 @@ func MergeReports(reps []*Report) *Report {
 	flowIdx := map[string]int{}
 	rowIdx := map[string]int{}
 	noteSeen := map[string]bool{}
+	var series []*telemetry.Series
 	for _, r := range reps {
 		if r == nil {
 			continue
+		}
+		if r.Telemetry != nil {
+			series = append(series, r.Telemetry)
 		}
 		if r.Window > out.Window {
 			out.Window = r.Window
@@ -164,6 +172,14 @@ func MergeReports(reps []*Report) *Report {
 	if secs := out.Window.Seconds(); secs > 0 {
 		out.RxMpps = float64(out.RxPackets) / secs / 1e6
 		out.RxGbpsWire = float64(out.RxBytes+out.RxPackets*(proto.FCSLen+proto.WireOverhead)) * 8 / secs / 1e9
+	}
+	if len(series) > 0 {
+		merged, err := telemetry.MergeSeries(series)
+		if err != nil {
+			out.Notes = append(out.Notes, "telemetry merge failed: "+err.Error())
+		} else {
+			out.Telemetry = merged
+		}
 	}
 	return out
 }

@@ -105,7 +105,8 @@ type Engine struct {
 	rng     *rand.Rand
 	streams uint64
 	stopped bool
-	procs   int // live processes, for diagnostics
+	procs   int    // live processes, for diagnostics
+	events  uint64 // total events fired, for diagnostics
 
 	// stopAt, when non-zero, is the simulated time at which Running()
 	// starts returning false. It is the simulation's equivalent of
@@ -236,6 +237,7 @@ func (e *Engine) Step() bool {
 		panic("sim: time went backwards")
 	}
 	e.now = at
+	e.events++
 	fn()
 	return true
 }
@@ -259,6 +261,7 @@ func (e *Engine) Run(until Time) int {
 				panic("sim: time went backwards")
 			}
 			e.now = at
+			e.events++
 			fn()
 			n++
 		}
@@ -283,3 +286,39 @@ func (e *Engine) Pending() int {
 
 // Procs returns the number of live processes.
 func (e *Engine) Procs() int { return e.procs }
+
+// EventsProcessed returns the total number of events fired since the
+// engine was created. The counter is monotonic and engine-owned (plain
+// field, no atomics): it must only be read from simulation context,
+// which is exactly how the telemetry recorder samples it.
+func (e *Engine) EventsProcessed() uint64 { return e.events }
+
+// SchedStats is a snapshot of the scheduler's internal counters —
+// cheap diagnostics for the telemetry layer and for perf debugging.
+// All values are monotonic except Pending and MaxSlotDepth (a running
+// maximum). The heap scheduler reports zero wheel statistics.
+type SchedStats struct {
+	// EventsProcessed is the total number of events fired.
+	EventsProcessed uint64
+	// WheelPromotions counts overflow-heap events promoted into wheel
+	// slots as the cursor approached them (each event promotes at most
+	// once).
+	WheelPromotions uint64
+	// MaxSlotDepth is the largest materialized tick buffer seen —
+	// crowding beyond the singleton fast path. Singleton slot fires
+	// never materialize a buffer and so do not register here.
+	MaxSlotDepth int
+	// Pending is the current number of scheduled events.
+	Pending int
+}
+
+// SchedStats returns the scheduler counters. Simulation context only,
+// like EventsProcessed.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{
+		EventsProcessed: e.events,
+		WheelPromotions: e.wheel.promotions,
+		MaxSlotDepth:    e.wheel.maxDepth,
+		Pending:         e.Pending(),
+	}
+}

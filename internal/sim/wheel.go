@@ -102,6 +102,10 @@ type timingWheel struct {
 
 	free  *wheelNode // node pool
 	freeN int
+
+	// Diagnostics sampled by Engine.SchedStats.
+	promotions uint64 // overflow events promoted into slots
+	maxDepth   int    // largest materialized tick buffer
 }
 
 func (w *timingWheel) len() int {
@@ -219,6 +223,7 @@ func (w *timingWheel) promoteSlow() {
 		}
 		w.over.popHead()
 		w.pushSlot(h, int(tick&wheelMask))
+		w.promotions++
 	}
 }
 
@@ -271,6 +276,9 @@ func (w *timingWheel) load(slot int) {
 	w.firedIdx = 0
 	w.firedTick = tickOf(w.fired[0].at)
 	w.loaded = true
+	if len(w.fired) > w.maxDepth {
+		w.maxDepth = len(w.fired)
+	}
 }
 
 // pop removes and returns the earliest event. Must only be called when

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"repro/internal/flow"
+	"repro/internal/mempool"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// PortProbe samples a port's statistics registers (atomic loads of
+// the published counters — the same snapshot surface the end-of-run
+// reports read via Port.CounterSnapshot). The model columns are
+// functions of the modeled wire; rx_pool_avail is the port's receive
+// pool occupancy, a diagnostic (it varies with drain batching).
+func PortProbe(name string, p *nic.Port) Probe {
+	return Probe{Name: name, Cols: []Column{
+		{Name: "tx_pkts", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().TxPackets }},
+		{Name: "tx_bytes", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().TxBytes }},
+		{Name: "rx_pkts", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().RxPackets }},
+		{Name: "rx_bytes", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().RxBytes }},
+		{Name: "rx_crc_errors", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().RxCRCErrors }},
+		{Name: "rx_missed", Rule: RuleSum, Sample: func() uint64 { return p.CounterSnapshot().RxMissed }},
+		{Name: "rx_pool_avail", Rule: RuleSum, Diag: true, Sample: func() uint64 {
+			if pool := p.RxPoolPeek(); pool != nil {
+				return uint64(pool.Available())
+			}
+			return 0
+		}},
+	}}
+}
+
+// FlowCol names one tracked flow for FlowProbe.
+type FlowCol struct {
+	// Label is the flow's column prefix within the probe ("f0" yields
+	// "flow.f0.rx", ...). Probe authoring rule applies.
+	Label string
+	// Key identifies the flow in the tracker.
+	Key flow.Key
+}
+
+// FlowProbe samples per-flow tracker aggregates: received, lost,
+// reordered and duplicate counts, plus latency quantiles (p50/p99,
+// integer nanoseconds) when the tracker records latency. Each flow's
+// stats struct is force-created at registration and bound directly, so
+// sampling is a field read regardless of arrival order.
+//
+// Sharding: a flow is wholly owned by one shard (the generators
+// partition flows), so every other shard samples zeros for it and
+// RuleSum reproduces the owning shard's values exactly — including
+// the quantile columns, which would not survive a genuine cross-shard
+// sum. The quantiles are still diagnostics: flow accounting is
+// invariant in the core count, but wire timing legitimately differs
+// between one shared wire and k private ones (the same line the
+// report-level invariance tests draw), so latency columns would break
+// the model series' cross-core byte-identity. Quantile sampling also
+// sorts the tracker's latency samples, so the flow probe is for
+// observed runs and goldens, not for the zero-alloc benchmark class.
+func FlowProbe(tr *flow.Tracker, flows []FlowCol) Probe {
+	var cols []Column
+	for _, fc := range flows {
+		fs := tr.Flow(fc.Key)
+		cols = append(cols,
+			Column{Name: fc.Label + ".rx", Rule: RuleSum, Sample: func() uint64 { return fs.Received }},
+			Column{Name: fc.Label + ".lost", Rule: RuleSum, Sample: func() uint64 { return fs.Lost }},
+			Column{Name: fc.Label + ".reordered", Rule: RuleSum, Sample: func() uint64 { return fs.Reordered }},
+			Column{Name: fc.Label + ".dup", Rule: RuleSum, Sample: func() uint64 { return fs.Duplicates }},
+		)
+		if fs.Latency != nil {
+			h := fs.Latency
+			quantile := func(p float64) uint64 {
+				if h.Count() == 0 {
+					return 0
+				}
+				return uint64(int64(h.Percentile(p)) / int64(sim.Nanosecond))
+			}
+			cols = append(cols,
+				Column{Name: fc.Label + ".lat_p50_ns", Rule: RuleSum, Diag: true, Sample: func() uint64 { return quantile(50) }},
+				Column{Name: fc.Label + ".lat_p99_ns", Rule: RuleSum, Diag: true, Sample: func() uint64 { return quantile(99) }},
+			)
+		}
+	}
+	return Probe{Name: "flow", Cols: cols}
+}
+
+// EngineProbe samples the scheduler's internal counters. All columns
+// are diagnostics: event counts and wheel mechanics depend on how work
+// is grouped into events, which is exactly what batch size and shard
+// count change.
+func EngineProbe(eng *sim.Engine) Probe {
+	return Probe{Name: "engine", Cols: []Column{
+		{Name: "events", Rule: RuleSum, Diag: true, Sample: eng.EventsProcessed},
+		{Name: "sched_promotions", Rule: RuleSum, Diag: true, Sample: func() uint64 {
+			return eng.SchedStats().WheelPromotions
+		}},
+		{Name: "sched_max_depth", Rule: RuleMax, Diag: true, Sample: func() uint64 {
+			return uint64(eng.SchedStats().MaxSlotDepth)
+		}},
+		{Name: "pending", Rule: RuleSum, Diag: true, Sample: func() uint64 {
+			return uint64(eng.Pending())
+		}},
+	}}
+}
+
+// PoolProbe samples a mempool's free-buffer count — occupancy
+// diagnostics for soak runs (a leak shows as a monotonic drain).
+func PoolProbe(name string, p *mempool.Pool) Probe {
+	return Probe{Name: name, Cols: []Column{
+		{Name: "avail", Rule: RuleSum, Diag: true, Sample: func() uint64 {
+			return uint64(p.Available())
+		}},
+	}}
+}

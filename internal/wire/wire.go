@@ -158,6 +158,15 @@ type Endpoint interface {
 	DeliverFrame(f *Frame, rxTime sim.Time)
 }
 
+// StatsFlusher is optionally implemented by endpoints that stage
+// per-frame counter updates. The link calls FlushStats once at the end
+// of every delivery event, after the last DeliverFrame of the train —
+// the receive-side mirror of a MAC scheduler publishing its transmit
+// counters once per committed train.
+type StatsFlusher interface {
+	FlushStats()
+}
+
 // delivery is one frame waiting in the link's in-flight FIFO.
 type delivery struct {
 	f  *Frame
@@ -208,6 +217,12 @@ type Link struct {
 	// freeFrames recycles delivered frames (bounded; see release).
 	freeFrames []*Frame
 
+	// peerFlush, when the endpoint implements StatsFlusher, is called
+	// once at the end of every delivery event — after the last
+	// DeliverFrame of the train — so the endpoint can publish staged
+	// per-frame counter updates at train granularity.
+	peerFlush func()
+
 	// TxFrames / TxBytes count what was put on the wire.
 	TxFrames uint64
 	TxBytes  uint64
@@ -229,6 +244,9 @@ func NewLink(eng *sim.Engine, speed Speed, phy PHYProfile, lengthM float64, peer
 		jitterRNG: eng.NewRand(),
 	}
 	l.deliverFn = l.deliver
+	if sf, ok := peer.(StatsFlusher); ok {
+		l.peerFlush = sf.FlushStats
+	}
 	return l
 }
 
@@ -348,23 +366,29 @@ func (l *Link) push(f *Frame, at sim.Time) {
 // deliver fires at the head frame's receive instant (plus the delivery
 // slack, if set): it delivers every due frame in FIFO order, recycles
 // non-retained frames, and re-arms itself for the next pending frame.
+// A StatsFlusher endpoint gets one FlushStats call after the train.
 func (l *Link) deliver() {
 	now := l.eng.Now()
+	delivered := false
 	for {
 		d, ok := l.pending.Peek()
 		if !ok {
-			return
+			break
 		}
 		if d.at > now {
 			l.eng.Schedule(d.at.Add(l.slack), l.deliverFn)
-			return
+			break
 		}
 		l.pending.Pop()
 		l.peer.DeliverFrame(d.f, d.at)
+		delivered = true
 		if !d.f.retained && len(l.freeFrames) < 1024 {
 			d.f.Data = d.f.Data[:0]
 			l.freeFrames = append(l.freeFrames, d.f)
 		}
+	}
+	if delivered && l.peerFlush != nil {
+		l.peerFlush()
 	}
 }
 

@@ -1,0 +1,121 @@
+// Telemetry invariance gate: the merged model-column time series a
+// sharded run reports is the single-core series, byte for byte, and
+// batching the datapath never moves a counter across a window edge.
+// This is the telemetry-level statement of the repo's standing
+// invariance contract — accounting is invariant in Cores and Batch;
+// wire timing is not (see flowFingerprint in internal/scenario's
+// tests for the report-level line).
+package repro
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// telemetryCSV runs a scenario at the invariance configuration (5 ms,
+// seed 5, 1 ms windows) and renders the merged model-column series.
+func telemetryCSV(t *testing.T, name string, cores, batch int) string {
+	t.Helper()
+	sc, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	spec := sc.DefaultSpec()
+	spec.Runtime = 5 * sim.Millisecond
+	spec.Seed = 5
+	spec.Cores = cores
+	spec.Batch = batch
+	spec.TelemetryInterval = sim.Millisecond
+	rep, err := scenario.Execute(name, spec, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil {
+		t.Fatalf("%s cores=%d batch=%d: no telemetry series", name, cores, batch)
+	}
+	var b strings.Builder
+	if err := rep.Telemetry.WriteCSV(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// dropCSVColumns removes the columns whose header name matches drop.
+func dropCSVColumns(t *testing.T, csv string, drop func(name string) bool) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	keep := []int{}
+	for i, name := range strings.Split(lines[0], ",") {
+		if !drop(name) {
+			keep = append(keep, i)
+		}
+	}
+	var b strings.Builder
+	for _, line := range lines {
+		fields := strings.Split(line, ",")
+		for j, i := range keep {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(fields[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var invarianceConfigs = []struct{ cores, batch int }{
+	{1, 1}, {1, 32}, {2, 1}, {2, 32}, {4, 1}, {4, 32},
+}
+
+// TestTelemetrySoftCBRInvariant: below line rate every delivery
+// completes a fixed wire latency after its grid slot, so the full
+// model series — transmit and receive port counters — is byte-
+// identical across Cores {1,2,4} × Batch {1,32}.
+func TestTelemetrySoftCBRInvariant(t *testing.T) {
+	want := telemetryCSV(t, "softcbr", 1, 1)
+	for _, cfg := range invarianceConfigs[1:] {
+		if got := telemetryCSV(t, "softcbr", cfg.cores, cfg.batch); got != want {
+			t.Errorf("cores=%d batch=%d: telemetry differs from the 1-core series\n want:\n%s\n got:\n%s",
+				cfg.cores, cfg.batch, want, got)
+		}
+	}
+}
+
+// TestTelemetryLossOverloadInvariant: batching is fully invisible
+// (byte-identical series at every core count), and across core counts
+// the transmit and flow-accounting columns are byte-identical — the
+// admission gate and the slot grid are pure functions of the global
+// slot index. The receive-port ingress counters are excluded from the
+// cross-core comparison only: the admitted stream runs at exactly
+// line rate, so on the single shared wire a frame can still be in
+// flight at a window edge that the k half-loaded wires have already
+// delivered — wire timing, not accounting.
+func TestTelemetryLossOverloadInvariant(t *testing.T) {
+	dropRxPort := func(name string) bool { return strings.HasPrefix(name, "rx.") }
+	base := telemetryCSV(t, "loss-overload", 1, 1)
+	want := dropCSVColumns(t, base, dropRxPort)
+	for _, cfg := range invarianceConfigs[1:] {
+		got := telemetryCSV(t, "loss-overload", cfg.cores, cfg.batch)
+		if cfg.cores == 1 && got != base {
+			t.Errorf("batch=%d: telemetry differs from the batch=1 series at one core", cfg.batch)
+		}
+		if reduced := dropCSVColumns(t, got, dropRxPort); reduced != want {
+			t.Errorf("cores=%d batch=%d: tx/flow columns differ from the 1-core series\n want:\n%s\n got:\n%s",
+				cfg.cores, cfg.batch, want, reduced)
+		}
+	}
+	// Batch invariance holds in full — receive columns included — at
+	// every core count.
+	for _, cores := range []int{2, 4} {
+		b1 := telemetryCSV(t, "loss-overload", cores, 1)
+		b32 := telemetryCSV(t, "loss-overload", cores, 32)
+		if b1 != b32 {
+			t.Errorf("cores=%d: batch 1 vs 32 telemetry differs\n b1:\n%s\n b32:\n%s", cores, b1, b32)
+		}
+	}
+}
