@@ -59,10 +59,11 @@ var benchPasses = []benchPass{
 		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkTelemetryOverhead|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
 		benchtime: "100x", count: 3},
 	{name: "engine", pkg: "./internal/sim", benchRE: "^BenchmarkEngine", benchtime: "100x", count: 3},
+	{name: "flow", pkg: "./internal/flow", benchRE: "^BenchmarkFlowTracker", benchtime: "100x", count: 3},
 }
 
 // benchCommand is the recorded description of the invocation set.
-const benchCommand = "go test -run NONE -bench <pass> -benchmem -benchtime {1x figures, 100x -count=3 micro+engine, best kept}"
+const benchCommand = "go test -run NONE -bench <pass> -benchmem -benchtime {1x figures, 100x -count=3 micro+engine+flow, best kept}"
 
 // args builds the go test argument list. Profile paths, when set, get
 // the pass name appended so the passes do not overwrite each other.
@@ -183,7 +184,27 @@ var gatedBenchmarks = map[string]bool{
 	"BenchmarkEngineSchedule":       true,
 	"BenchmarkFig2MultiCoreScaling": true,
 	"BenchmarkFig4Scaling120G":      true,
+	"BenchmarkFlowTrackerMillion":   true,
+	"BenchmarkFlowTrackerChurn":     true,
 }
+
+// footprintGated marks gated benchmarks whose memory numbers are
+// near-deterministic at a fixed iteration count and therefore gated
+// like allocs/op: B/op (bytes allocated during the timed loop — 0 for
+// the steady-state million-flow bench, arena/rehash growth for the
+// churn bench) within the alloc threshold plus a small absolute slack,
+// and the custom B/flow resident-footprint metric within the same
+// relative threshold. This is the table-footprint gate: a record
+// layout or slot-geometry change that bloats the flat table shows up
+// here before it shows up in production memory graphs.
+var footprintGated = map[string]bool{
+	"BenchmarkFlowTrackerMillion": true,
+	"BenchmarkFlowTrackerChurn":   true,
+}
+
+// footprintMetric is the custom metric carrying resident table bytes
+// per tracked flow.
+const footprintMetric = "B/flow"
 
 // allocThreshold is the allowed relative allocs/op regression.
 // Allocation counts are near-deterministic, so this is the gate's
@@ -295,6 +316,21 @@ func checkGoBench(path, outPath, cpuProfile, memProfile string) error {
 		if r.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold)+2 {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %.0f -> %.0f", r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+		// Table-footprint gate: timed-loop bytes and resident B/flow are
+		// as deterministic as alloc counts for the flow benchmarks.
+		if footprintGated[r.Name] {
+			if r.BPerOp > b.BPerOp*(1+allocThreshold)+64 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: B/op %.0f -> %.0f", r.Name, b.BPerOp, r.BPerOp))
+			}
+			bf, bok := b.Metrics[footprintMetric]
+			ff, fok := r.Metrics[footprintMetric]
+			if bok && fok && ff > bf*(1+allocThreshold) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.1f -> %.1f (flow-table footprint regressed beyond %.0f%%)",
+						r.Name, footprintMetric, bf, ff, allocThreshold*100))
+			}
 		}
 		// sim/wall collapse gate: the ratio is wall-derived, so reuse
 		// the catastrophic ns threshold and floor rather than invent a

@@ -45,6 +45,8 @@ type options struct {
 	useDuT      bool
 	cores       int
 	flows       int
+	churnFlows  int
+	churnLife   int
 	telemetry   string
 	telemetryMS float64
 	telemetryDg bool
@@ -96,6 +98,12 @@ var flagDefs = []struct {
 	}},
 	{"-flows N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
 		fs.IntVar(&o.flows, "flows", len(spec.Flows), "declared flow count (0 keeps the scenario's default flow set)")
+	}},
+	{"-churn-flows W", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.churnFlows, "churn-flows", spec.ChurnFlows, "churn scenario: live-flow working set size")
+	}},
+	{"-churn-life R", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+		fs.IntVar(&o.churnLife, "churn-life", spec.ChurnLife, "churn scenario: flow lifetime in packets")
 	}},
 	{"-telemetry PATH", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
 		fs.StringVar(&o.telemetry, "telemetry", "", "record windowed telemetry to PATH (.jsonl switches to JSONL, else CSV)")
@@ -154,6 +162,8 @@ func main() {
 	spec.Steps = o.steps
 	spec.UseDuT = o.useDuT
 	spec.Cores = o.cores
+	spec.ChurnFlows = o.churnFlows
+	spec.ChurnLife = o.churnLife
 	if o.flows > 0 && o.flows != len(spec.Flows) {
 		// Resizing is only meaningful for scenarios whose default flow
 		// set is the generic FlowSet; curated flow sets (qos's shaped

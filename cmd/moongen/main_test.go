@@ -75,7 +75,7 @@ func TestListDeterministicSortedDescribed(t *testing.T) {
 	// The pinned scenario set: every workload the CLI must expose. New
 	// scenarios are added here deliberately, never by accident.
 	want := []string{
-		"bursts", "cbr", "flood", "imix",
+		"bursts", "cbr", "churn", "flood", "imix",
 		"interarrival-moongen", "interarrival-pktgen", "interarrival-zsend",
 		"latency", "loss-overload", "poisson", "qos", "reflect", "reorder",
 		"softcbr", "timestamps",

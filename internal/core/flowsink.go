@@ -80,7 +80,10 @@ func (s *FlowSink) Run(t *Task) {
 }
 
 // consume attributes one burst through the tracker's train-coalesced
-// path and recycles it.
+// path and recycles it. RecordBatch resolves each frame's flow through
+// the tracker's direct-mapped key memo, so a burst draining one wire's
+// FIFO — even with a handful of interleaved flows — rarely pays a full
+// table probe, and the memo's pointers stay valid across table growth.
 func (s *FlowSink) consume(ba *mempool.BufArray, n int) {
 	if cap(s.frames) < n {
 		s.frames = make([]flow.Frame, len(ba.Bufs))

@@ -148,6 +148,14 @@ type Config struct {
 	// LatencyBinWidth is the latency histogram bin width (default 1 ns;
 	// percentiles are exact while the per-flow sample cap holds).
 	LatencyBinWidth sim.Duration
+	// Reference selects the original map[Key]*Stats implementation
+	// instead of the flat open-addressing table — the property-pinned
+	// reference the flat path is tested bit-identical against. The two
+	// implementations share every code path above storage (attribution,
+	// classification, merge), differ only in how records are found and
+	// allocated, and are interchangeable: trackers of either kind merge
+	// into trackers of either kind.
+	Reference bool
 }
 
 // Stats is the per-flow state of a Tracker. Counters follow RFC-4737
@@ -172,8 +180,11 @@ type Stats struct {
 	// picoseconds (the sim.Duration base unit).
 	InterArrival stats.OnlineStats
 
-	// Latency is the stamped transmit-to-receive latency histogram
-	// (nil unless Config.Latency is set).
+	// Latency is the stamped transmit-to-receive latency histogram.
+	// It is allocated lazily, on the flow's first latency sample: nil
+	// unless Config.Latency is set AND the flow actually carried a
+	// timestamped packet — which is what lets a tracker hold a million
+	// flows without a million histograms.
 	Latency *stats.Histogram
 
 	highest uint64 // highest sequence seen
@@ -267,12 +278,45 @@ func (fs *Stats) track(seq uint64) {
 // Tracker attributes received packets to flows and maintains the
 // per-flow Stats. It is single-owner like everything else in a shard's
 // datapath; sharded runs keep one tracker per shard and Merge them.
+//
+// Storage is the flat open-addressing table in table.go: inline keys
+// in power-of-two slots, per-flow records in a chunked arena whose
+// pointers are stable across growth. Config.Reference selects the
+// original map-based storage instead; both produce bit-identical
+// per-flow results for any input.
 type Tracker struct {
-	cfg   Config
+	cfg    Config
+	latBin sim.Duration // LatencyBinWidth when Config.Latency, else 0
+
+	// flows is the reference-mode store; nil selects the flat table.
 	flows map[Key]*Stats
+	table flowTable
+
+	// memo is a small direct-mapped lookup cache indexed by the key
+	// hash, the generalization of RecordBatch's old single-entry memo:
+	// a train draining a handful of interleaved wires hits it even
+	// when consecutive frames alternate flows. Entries hold arena (or
+	// map) pointers, which are stable and never deleted, so the memo
+	// survives table growth with no invalidation protocol at all.
+	memo [memoSize]memoEntry
+
+	// active counts flows that have received at least one packet —
+	// the tracker's "live flows" telemetry. It can lag NumFlows:
+	// probes and merges may create records for flows that never
+	// receive (a telemetry column registered in a shard that does not
+	// own the flow).
+	active uint64
 
 	// Unparsed counts packets that carried no IPv4 UDP/TCP flow key.
 	Unparsed uint64
+}
+
+// memoSize is the direct-mapped lookup cache size (power of two).
+const memoSize = 8
+
+type memoEntry struct {
+	key Key
+	fs  *Stats
 }
 
 // ceilPow2 rounds n up to the next power of two (minimum 64).
@@ -293,20 +337,45 @@ func NewTracker(cfg Config) *Tracker {
 	if cfg.LatencyBinWidth <= 0 {
 		cfg.LatencyBinWidth = sim.Nanosecond
 	}
-	return &Tracker{cfg: cfg, flows: make(map[Key]*Stats)}
+	t := &Tracker{cfg: cfg}
+	if cfg.Latency {
+		t.latBin = cfg.LatencyBinWidth
+	}
+	if cfg.Reference {
+		t.flows = make(map[Key]*Stats)
+	} else {
+		t.table.init(cfg.SeqWindow)
+	}
+	return t
 }
 
-// Flow returns the flow's stats, creating them on first use.
+// Flow returns the flow's stats, creating them on first use. The
+// returned pointer stays valid for the tracker's lifetime — records
+// live in the arena (or on the heap in reference mode) and never move,
+// which is what lets telemetry probes bind them once at registration.
 func (t *Tracker) Flow(k Key) *Stats {
+	h := k.hash()
+	m := &t.memo[h&(memoSize-1)]
+	if m.fs != nil && m.key == k {
+		return m.fs
+	}
+	fs := t.flowSlow(k, h)
+	m.key, m.fs = k, fs
+	return fs
+}
+
+// flowSlow is the memo-miss path: the flat table probe, or the
+// reference map.
+func (t *Tracker) flowSlow(k Key, h uint64) *Stats {
+	if t.flows == nil {
+		return t.table.flow(k, h)
+	}
 	fs, ok := t.flows[k]
 	if !ok {
 		fs = &Stats{
 			Key:  k,
 			seen: make([]uint64, t.cfg.SeqWindow/64),
 			mask: uint64(t.cfg.SeqWindow - 1),
-		}
-		if t.cfg.Latency {
-			fs.Latency = stats.NewHistogram(t.cfg.LatencyBinWidth)
 		}
 		t.flows[k] = fs
 	}
@@ -315,30 +384,138 @@ func (t *Tracker) Flow(k Key) *Stats {
 
 // Lookup returns the flow's stats without creating them.
 func (t *Tracker) Lookup(k Key) (*Stats, bool) {
-	fs, ok := t.flows[k]
-	return fs, ok
+	if t.flows != nil {
+		fs, ok := t.flows[k]
+		return fs, ok
+	}
+	fs := t.table.lookup(k, k.hash())
+	return fs, fs != nil
 }
 
 // NumFlows returns the number of tracked flows.
-func (t *Tracker) NumFlows() int { return len(t.flows) }
+func (t *Tracker) NumFlows() int {
+	if t.flows != nil {
+		return len(t.flows)
+	}
+	return t.table.n
+}
+
+// ActiveFlows returns the number of flows that have received at least
+// one packet — the "live flows" the telemetry flow probe samples. It
+// excludes records created without traffic (probe registration,
+// lookups via Flow on the transmit side).
+func (t *Tracker) ActiveFlows() uint64 { return t.active }
+
+// LatencyEnabled reports whether stamped packets feed per-flow latency
+// histograms. The histograms themselves are created lazily per flow;
+// this is the registration-time signal for probes that export
+// quantiles.
+func (t *Tracker) LatencyEnabled() bool { return t.latBin > 0 }
+
+// TableLoad returns the flat table's occupied and total slot counts
+// (0, 0 in reference mode, which has no fixed geometry).
+func (t *Tracker) TableLoad() (used, capacity int) {
+	if t.flows != nil {
+		return 0, 0
+	}
+	return t.table.used, len(t.table.slots)
+}
+
+// MaxProbe returns the longest linear-probe chain the flat table has
+// built — with no deletions, an upper bound on every lookup's probe
+// length. 0 in reference mode.
+func (t *Tracker) MaxProbe() int {
+	if t.flows != nil {
+		return 0
+	}
+	return t.table.maxProbe
+}
+
+// FootprintBytes estimates the tracker's resident memory: slots, the
+// record and bitmap arenas (or their per-flow equivalents in reference
+// mode) and any lazily created latency histograms.
+func (t *Tracker) FootprintBytes() uint64 {
+	var b uint64
+	if t.flows != nil {
+		per := uint64(statsSize) + uint64(t.cfg.SeqWindow/64)*8
+		b = uint64(len(t.flows)) * per
+	} else {
+		b = t.table.footprintBytes()
+	}
+	t.eachFlow(func(fs *Stats) {
+		if fs.Latency != nil {
+			b += fs.Latency.FootprintBytes()
+		}
+	})
+	return b
+}
+
+// eachFlow visits every tracked flow in a deterministic order: arena
+// (insertion) order for the flat table, sorted key order for the
+// reference map. Per-flow work must not depend on visit order.
+func (t *Tracker) eachFlow(f func(*Stats)) {
+	if t.flows == nil {
+		t.table.each(f)
+		return
+	}
+	for _, fs := range t.Flows() {
+		f(fs)
+	}
+}
 
 // Flows returns every tracked flow sorted by key — the deterministic
 // iteration order reports are built from.
 func (t *Tracker) Flows() []*Stats {
-	out := make([]*Stats, 0, len(t.flows))
-	for _, fs := range t.flows {
-		out = append(out, fs)
+	var out []*Stats
+	if t.flows != nil {
+		out = make([]*Stats, 0, len(t.flows))
+		for _, fs := range t.flows {
+			out = append(out, fs)
+		}
+	} else {
+		out = make([]*Stats, 0, t.table.n)
+		t.table.each(func(fs *Stats) { out = append(out, fs) })
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
 	return out
+}
+
+// Totals is the aggregate view over every tracked flow — the report
+// surface for scenarios tracking too many flows to enumerate.
+type Totals struct {
+	Flows  uint64 // tracked flows (records)
+	Active uint64 // flows with Received > 0
+
+	Received, Bytes, Stamped    uint64
+	Lost, Reordered, Duplicates uint64
+}
+
+// Totals sums every flow's counters in arena order — O(flows) with no
+// sorting, usable once per report even at millions of flows.
+func (t *Tracker) Totals() Totals {
+	tot := Totals{Flows: uint64(t.NumFlows()), Active: t.active}
+	t.eachFlow(func(fs *Stats) {
+		tot.Received += fs.Received
+		tot.Bytes += fs.Bytes
+		tot.Stamped += fs.Stamped
+		tot.Lost += fs.Lost
+		tot.Reordered += fs.Reordered
+		tot.Duplicates += fs.Duplicates
+	})
+	return tot
 }
 
 // record runs the post-parse attribution for one frame of the flow:
 // counters, inter-arrival accumulation, sequence classification and
 // (when enabled and stamped) latency recording. Record and RecordBatch
 // share this body, which is what makes the two entry points
-// bit-identical by construction.
-func (fs *Stats) record(data, payload []byte, rx sim.Time) {
+// bit-identical by construction. The flow's latency histogram is
+// created lazily here, on its first sample, so flows that never carry
+// a timestamp never pay for one.
+func (t *Tracker) record(fs *Stats, data, payload []byte, rx sim.Time) {
+	if fs.Received == 0 {
+		t.active++
+	}
 	fs.Received++
 	fs.Bytes += uint64(len(data))
 	if fs.hasRx {
@@ -349,7 +526,10 @@ func (fs *Stats) record(data, payload []byte, rx sim.Time) {
 	if seq, tx, stamped := ReadStamp(payload); stamped {
 		fs.Stamped++
 		fs.track(seq)
-		if fs.Latency != nil && rx >= tx {
+		if t.latBin > 0 && rx >= tx {
+			if fs.Latency == nil {
+				fs.Latency = stats.NewHistogram(t.latBin)
+			}
 			fs.Latency.Add(rx.Sub(tx))
 		}
 	}
@@ -366,7 +546,7 @@ func (t *Tracker) Record(data []byte, rx sim.Time) bool {
 		t.Unparsed++
 		return false
 	}
-	t.Flow(k).record(data, payload, rx)
+	t.record(t.Flow(k), data, payload, rx)
 	return true
 }
 
@@ -381,26 +561,19 @@ type Frame struct {
 // mirror of the transmit side's train commits. The per-frame work is
 // exactly Record's (the two paths share the attribution body, so their
 // results are bit-identical in any interleaving); what the batch form
-// amortizes is the flow lookup: consecutive frames of the same flow —
-// the common case, since a train drains one wire's FIFO — reuse the
-// previous frame's *Stats instead of re-hashing the 5-tuple into the
-// flow map. It returns the number of frames that carried a flow key.
+// amortizes is the flow lookup, through the tracker's direct-mapped
+// memo: a train draining one wire's FIFO hits the memo even when a
+// handful of flows interleave, and the memo's arena pointers survive
+// any table growth mid-train. It returns the number of frames that
+// carried a flow key.
 func (t *Tracker) RecordBatch(frames []Frame) (recorded int) {
-	var (
-		lastKey Key
-		lastFS  *Stats
-	)
 	for i := range frames {
 		k, payload, ok := Parse(frames[i].Data)
 		if !ok {
 			t.Unparsed++
 			continue
 		}
-		if lastFS == nil || k != lastKey {
-			lastFS = t.Flow(k)
-			lastKey = k
-		}
-		lastFS.record(frames[i].Data, payload, frames[i].Rx)
+		t.record(t.Flow(k), frames[i].Data, payload, frames[i].Rx)
 		recorded++
 	}
 	return recorded
@@ -411,12 +584,19 @@ func (t *Tracker) RecordBatch(frames []Frame) (recorded int) {
 // combination, latency histograms merge bin-exact. Merged per-flow
 // counts over shards equal the unsharded run's as long as no flow
 // spans shards (the sharded scenarios assign whole flows to shards).
-// The merged tracker is for reporting: its sequence windows are not
-// meaningful for further Record calls. other is not modified.
+// Per-flow merges are independent, so the visit order — arena order
+// for a flat source, sorted order for a reference one — cannot affect
+// any per-flow result. Flat and reference trackers merge into each
+// other freely. The merged tracker is for reporting: its sequence
+// windows are not meaningful for further Record calls. other is not
+// modified.
 func (t *Tracker) Merge(other *Tracker) {
 	t.Unparsed += other.Unparsed
-	for _, o := range other.Flows() {
+	other.eachFlow(func(o *Stats) {
 		fs := t.Flow(o.Key)
+		if fs.Received == 0 && o.Received > 0 {
+			t.active++
+		}
 		fs.Received += o.Received
 		fs.Bytes += o.Bytes
 		fs.Stamped += o.Stamped
@@ -438,5 +618,5 @@ func (t *Tracker) Merge(other *Tracker) {
 			fs.hasRx = true
 		}
 		fs.started = fs.started || o.started
-	}
+	})
 }

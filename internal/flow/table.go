@@ -1,0 +1,212 @@
+package flow
+
+import "unsafe"
+
+// This file is the million-flow storage engine behind Tracker: a flat
+// open-addressing hash table over arena-allocated per-flow records.
+//
+// Layout. The table itself is a power-of-two slice of slots, each an
+// inline Key plus a 1-based arena reference (0 marks an empty slot) —
+// 24 bytes, no pointers, nothing for the GC to scan per flow. Probing
+// is linear, so a lookup touches consecutive cache lines, and there are
+// no deletions, so no tombstones exist and a probe chain ends at the
+// first empty slot. The per-flow Stats records live outside the table
+// in an arena of fixed-size chunks (chunkLen records each) that are
+// never reallocated: a *Stats handed out once — to a telemetry probe,
+// a report, the lookup memo — stays valid across any number of grows,
+// because a rehash moves 24-byte slots, never records. Each chunk
+// carries a parallel block of seq-window bitmap words, sub-sliced per
+// record, so a flow's hot state (counters + window) costs two
+// allocations per 4096 flows instead of two per flow.
+//
+// Growth. The table doubles when an insert would push the load factor
+// over 3/4, re-slotting every key by its recomputed hash. Growth cost
+// is amortized O(1) per insert and entirely off the steady-state path:
+// once the working set is inserted, Record/RecordBatch never allocate.
+// maxProbe tracks the longest insert probe chain, which — with linear
+// probing and no deletions — bounds every subsequent lookup's chain;
+// the telemetry flow probe exports it alongside the load factor.
+
+const (
+	// chunkShift sizes the record arena chunks: 1<<chunkShift Stats
+	// records (and their bitmap words) per allocation.
+	chunkShift = 12
+	chunkLen   = 1 << chunkShift
+	chunkMask  = chunkLen - 1
+
+	// tableInitSlots is the initial slot-array size (power of two).
+	tableInitSlots = 64
+)
+
+// statsSize is the per-record footprint both tracker variants charge
+// when reporting resident memory.
+const statsSize = uint64(unsafe.Sizeof(Stats{}))
+
+// slot is one open-addressing bucket: the flow key stored inline plus
+// the 1-based index of its record in the arena (0 = empty).
+type slot struct {
+	key Key
+	ref int32
+}
+
+// hash mixes the 5-tuple into a table index with a splitmix64-style
+// finalizer. It is a pure function of the key — no per-process seed —
+// so slot placement, growth points and probe lengths are identical
+// across runs and shards, keeping the table's diagnostics as
+// deterministic as the model counters.
+func (k Key) hash() uint64 {
+	a := uint64(k.Src)<<32 | uint64(k.Dst)
+	b := uint64(k.Proto)<<32 | uint64(k.SrcPort)<<16 | uint64(k.DstPort)
+	x := a*0x9E3779B97F4A7C15 + b
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// flowTable is the flat storage: slots plus the record and bitmap
+// arenas. It is single-owner like the Tracker embedding it.
+type flowTable struct {
+	slots    []slot
+	used     int
+	maxProbe int
+
+	// chunks/words are the arenas: chunk c holds records
+	// [c*chunkLen, (c+1)*chunkLen) and words[c] their seq-window
+	// bitmaps, wpf words per record.
+	chunks [][]Stats
+	words  [][]uint64
+	n      int
+
+	wpf     int    // bitmap words per flow (SeqWindow/64)
+	seqMask uint64 // SeqWindow-1
+}
+
+// init prepares the table for a (power-of-two) sequence window.
+func (ft *flowTable) init(seqWindow int) {
+	ft.wpf = seqWindow / 64
+	ft.seqMask = uint64(seqWindow - 1)
+	ft.slots = make([]slot, tableInitSlots)
+}
+
+// at resolves a 1-based slot reference to its arena record.
+func (ft *flowTable) at(ref int32) *Stats {
+	idx := int(ref) - 1
+	return &ft.chunks[idx>>chunkShift][idx&chunkMask]
+}
+
+// lookup returns the record for k, or nil. h must be k.hash().
+func (ft *flowTable) lookup(k Key, h uint64) *Stats {
+	mask := uint64(len(ft.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := &ft.slots[i]
+		if s.ref == 0 {
+			return nil
+		}
+		if s.key == k {
+			return ft.at(s.ref)
+		}
+	}
+}
+
+// flow returns the record for k, inserting it on first sight. h must
+// be k.hash(). The hit path is branch-free of any allocation or growth
+// check: growth is decided only at the empty slot that would receive a
+// new key.
+func (ft *flowTable) flow(k Key, h uint64) *Stats {
+	mask := uint64(len(ft.slots) - 1)
+	probe := 1
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := &ft.slots[i]
+		if s.ref == 0 {
+			if ft.used+1 > len(ft.slots)/4*3 {
+				ft.grow()
+				return ft.flow(k, h) // re-probe in the doubled table
+			}
+			s.key = k
+			s.ref = ft.newRecord(k)
+			ft.used++
+			if probe > ft.maxProbe {
+				ft.maxProbe = probe
+			}
+			return ft.at(s.ref)
+		}
+		if s.key == k {
+			return ft.at(s.ref)
+		}
+		probe++
+	}
+}
+
+// grow doubles the slot array and re-slots every key by its recomputed
+// hash (hashes are not stored: recomputing is five arithmetic ops,
+// cheaper than widening every slot by eight bytes). Records do not
+// move, so every *Stats stays valid. maxProbe is recomputed for the
+// new geometry.
+func (ft *flowTable) grow() {
+	old := ft.slots
+	ft.slots = make([]slot, len(old)*2)
+	ft.maxProbe = 0
+	mask := uint64(len(ft.slots) - 1)
+	for _, s := range old {
+		if s.ref == 0 {
+			continue
+		}
+		probe := 1
+		i := s.key.hash() & mask
+		for ft.slots[i].ref != 0 {
+			i = (i + 1) & mask
+			probe++
+		}
+		ft.slots[i] = s
+		if probe > ft.maxProbe {
+			ft.maxProbe = probe
+		}
+	}
+}
+
+// newRecord appends a fresh record to the arena and returns its
+// 1-based reference. A new chunk (records + bitmap words) is allocated
+// every chunkLen inserts; nothing else in the steady state allocates.
+func (ft *flowTable) newRecord(k Key) int32 {
+	if ft.n&chunkMask == 0 {
+		ft.chunks = append(ft.chunks, make([]Stats, chunkLen))
+		ft.words = append(ft.words, make([]uint64, chunkLen*ft.wpf))
+	}
+	idx := ft.n
+	ft.n++
+	fs := &ft.chunks[idx>>chunkShift][idx&chunkMask]
+	fs.Key = k
+	blk := ft.words[idx>>chunkShift]
+	off := (idx & chunkMask) * ft.wpf
+	fs.seen = blk[off : off+ft.wpf : off+ft.wpf]
+	fs.mask = ft.seqMask
+	return int32(idx + 1)
+}
+
+// each visits every record in insertion (arena) order — the
+// deterministic O(1)-per-flow iteration reports and merges use when
+// sorted order is not required.
+func (ft *flowTable) each(f func(*Stats)) {
+	for c, chunk := range ft.chunks {
+		limit := chunkLen
+		if c == len(ft.chunks)-1 {
+			limit = ft.n - c*chunkLen
+		}
+		for i := 0; i < limit; i++ {
+			f(&chunk[i])
+		}
+	}
+}
+
+// footprintBytes returns the table's resident memory: slots plus both
+// arenas (lazily created latency histograms are accounted by the
+// Tracker, which knows about them).
+func (ft *flowTable) footprintBytes() uint64 {
+	b := uint64(len(ft.slots)) * uint64(unsafe.Sizeof(slot{}))
+	b += uint64(len(ft.chunks)) * chunkLen * uint64(unsafe.Sizeof(Stats{}))
+	b += uint64(len(ft.words)) * uint64(chunkLen*ft.wpf) * 8
+	return b
+}

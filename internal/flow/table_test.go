@@ -1,0 +1,440 @@
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// benchFrame builds a stamped UDP frame without a *testing.T, for the
+// benchmarks and the million-flow tests. The destination address and
+// port are patched per flow by patchFlow.
+func benchFrame() []byte {
+	b := make([]byte, 60)
+	p := proto.UDPPacket{B: b}
+	p.Fill(proto.UDPPacketFill{
+		PktLength: 60,
+		IPSrc:     proto.MustIPv4("10.0.0.1"),
+		IPDst:     proto.MustIPv4("10.1.0.1"),
+		UDPSrc:    1234, UDPDst: 0,
+	})
+	return b
+}
+
+const framePayloadOff = proto.EthHdrLen + proto.IPv4HdrLen + proto.UDPHdrLen
+
+// frameDstBase is 10.1.0.1, hoisted so patchFlow is allocation-free
+// (MustIPv4 parses with strings.Split).
+var frameDstBase = proto.MustIPv4("10.1.0.1")
+
+// patchFlow rewrites the frame's flow identity in place: the low 16
+// bits of fid land in the destination port, the high bits offset the
+// destination address — the same fid encoding the churn scenario uses.
+// Checksums are left stale; Parse does not verify them.
+func patchFlow(b []byte, fid uint64) {
+	binary.BigEndian.PutUint32(b[proto.EthHdrLen+16:], uint32(frameDstBase)+uint32(fid>>16))
+	binary.BigEndian.PutUint16(b[proto.EthHdrLen+proto.IPv4HdrLen+2:], uint16(fid))
+}
+
+// flowKey is the Key patchFlow produces for fid.
+func flowKey(fid uint64) Key {
+	return Key{
+		Proto:   proto.IPProtoUDP,
+		Src:     proto.MustIPv4("10.0.0.1"),
+		Dst:     proto.MustIPv4("10.1.0.1") + proto.IPv4(fid>>16),
+		SrcPort: 1234, DstPort: uint16(fid),
+	}
+}
+
+// requireFlowsEqual compares two trackers' complete per-flow state —
+// counters, inter-arrival statistics bit for bit, and latency
+// histograms bin-exact including lazy nil-ness semantics (a flow with
+// no latency samples must be nil or empty in both).
+func requireFlowsEqual(t *testing.T, label string, a, b *Tracker) {
+	t.Helper()
+	af, bf := a.Flows(), b.Flows()
+	if len(af) != len(bf) {
+		t.Fatalf("%s: flow counts differ: %d vs %d", label, len(af), len(bf))
+	}
+	if a.Unparsed != b.Unparsed {
+		t.Errorf("%s: unparsed %d vs %d", label, a.Unparsed, b.Unparsed)
+	}
+	if a.ActiveFlows() != b.ActiveFlows() {
+		t.Errorf("%s: active %d vs %d", label, a.ActiveFlows(), b.ActiveFlows())
+	}
+	for i := range af {
+		x, y := af[i], bf[i]
+		if x.Key != y.Key {
+			t.Fatalf("%s flow %d: key %v vs %v", label, i, x.Key, y.Key)
+		}
+		if x.Received != y.Received || x.Bytes != y.Bytes || x.Stamped != y.Stamped ||
+			x.Lost != y.Lost || x.Reordered != y.Reordered || x.Duplicates != y.Duplicates {
+			t.Errorf("%s flow %v: counters differ: %+v vs %+v", label, x.Key, x, y)
+		}
+		if x.InterArrival.Count() != y.InterArrival.Count() ||
+			math.Float64bits(x.InterArrival.Mean()) != math.Float64bits(y.InterArrival.Mean()) ||
+			math.Float64bits(x.InterArrival.Variance()) != math.Float64bits(y.InterArrival.Variance()) {
+			t.Errorf("%s flow %v: inter-arrival stats differ", label, x.Key)
+		}
+		xc, yc := uint64(0), uint64(0)
+		if x.Latency != nil {
+			xc = x.Latency.Count()
+		}
+		if y.Latency != nil {
+			yc = y.Latency.Count()
+		}
+		if xc != yc {
+			t.Errorf("%s flow %v: latency counts differ: %d vs %d", label, x.Key, xc, yc)
+			continue
+		}
+		if xc > 0 {
+			xb, yb := x.Latency.Bins(), y.Latency.Bins()
+			if len(xb) != len(yb) {
+				t.Errorf("%s flow %v: latency bin counts differ", label, x.Key)
+				continue
+			}
+			for j := range xb {
+				if xb[j] != yb[j] {
+					t.Errorf("%s flow %v: latency bin %d differs: %+v vs %+v", label, x.Key, j, xb[j], yb[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFlatMatchesReference is the tentpole's property pin: randomized
+// insert/record/merge sequences — duplicate keys, gaps, unstamped
+// payloads, enough distinct flows to cross several grow/rehash
+// boundaries (64 → 8192 slots), and an uneven 3-way sharding — produce
+// bit-identical per-flow state in the flat open-addressing tracker and
+// the map-based reference, in every merge direction.
+func TestFlatMatchesReference(t *testing.T) {
+	const F = 3000 // crosses rehash at 48, 96, ..., 3072 used slots
+	rng := rand.New(rand.NewSource(23))
+
+	type rec struct {
+		fid       uint64
+		seq       uint64
+		at        sim.Time
+		unstamped bool
+	}
+	var stream []rec
+	next := make([]uint64, F)
+	for i := 0; i < 12000; i++ {
+		fid := uint64(rng.Intn(F))
+		s := next[fid]
+		next[fid]++
+		switch rng.Intn(12) {
+		case 0: // gap: skip a sequence, the flow loses one packet
+			s++
+			next[fid] = s + 1
+		case 1: // duplicate delivery
+			stream = append(stream, rec{fid, s, sim.Time(i) * 100, false})
+		case 2: // unstamped packet (no sequence trailer at all)
+			stream = append(stream, rec{fid, 0, sim.Time(i) * 100, true})
+			continue
+		}
+		stream = append(stream, rec{fid, s, sim.Time(i) * 100, false})
+	}
+
+	run := func(cfg Config, shard func(fid uint64) bool) *Tracker {
+		tr := NewTracker(cfg)
+		buf := benchFrame()
+		for _, r := range stream {
+			if shard != nil && !shard(r.fid) {
+				continue
+			}
+			patchFlow(buf, r.fid)
+			if r.unstamped {
+				for i := framePayloadOff; i < len(buf); i++ {
+					buf[i] = 0
+				}
+			} else {
+				Stamp(buf[framePayloadOff:], r.seq, r.at-70)
+			}
+			tr.Record(buf, r.at)
+		}
+		return tr
+	}
+
+	flatCfg := Config{Latency: true, SeqWindow: 64}
+	refCfg := Config{Latency: true, SeqWindow: 64, Reference: true}
+
+	flat := run(flatCfg, nil)
+	ref := run(refCfg, nil)
+	requireFlowsEqual(t, "unsharded flat vs reference", flat, ref)
+
+	// Uneven 3-way whole-flow sharding: shard 0 takes half the flows,
+	// shards 1 and 2 split the rest unevenly.
+	owner := func(fid uint64) int {
+		switch {
+		case fid%2 == 0:
+			return 0
+		case fid%3 == 0:
+			return 1
+		default:
+			return 2
+		}
+	}
+	var flatShards, refShards []*Tracker
+	for s := 0; s < 3; s++ {
+		s := s
+		flatShards = append(flatShards, run(flatCfg, func(fid uint64) bool { return owner(fid) == s }))
+		refShards = append(refShards, run(refCfg, func(fid uint64) bool { return owner(fid) == s }))
+	}
+
+	// Every merge direction: flat←flat, ref←ref, flat←ref, ref←flat.
+	cases := []struct {
+		label  string
+		root   Config
+		shards []*Tracker
+	}{
+		{"flat shards into flat", flatCfg, flatShards},
+		{"reference shards into reference", refCfg, refShards},
+		{"reference shards into flat", flatCfg, refShards},
+		{"flat shards into reference", refCfg, flatShards},
+	}
+	for _, c := range cases {
+		merged := NewTracker(c.root)
+		for _, s := range c.shards {
+			merged.Merge(s)
+		}
+		requireFlowsEqual(t, c.label, merged, ref)
+	}
+}
+
+// TestTableGrowthKeepsPointers pins the arena stability contract: a
+// *Stats handed out before thousands of inserts (and the grows they
+// force) still addresses the same live record afterwards — the
+// property telemetry probes and the lookup memo rely on.
+func TestTableGrowthKeepsPointers(t *testing.T) {
+	tr := NewTracker(Config{SeqWindow: 64})
+	early := tr.Flow(flowKey(0))
+	early.Received = 77
+	for fid := uint64(1); fid < 5000; fid++ {
+		tr.Flow(fid2key(fid))
+	}
+	if got := tr.Flow(flowKey(0)); got != early {
+		t.Fatalf("record moved across growth: %p vs %p", got, early)
+	}
+	if early.Received != 77 {
+		t.Fatalf("record content lost across growth")
+	}
+	used, capacity := tr.TableLoad()
+	if used != 5000 || capacity < 5000 {
+		t.Fatalf("table load = %d/%d, want 5000 used", used, capacity)
+	}
+	if tr.MaxProbe() < 1 {
+		t.Fatalf("maxProbe = %d, want >= 1", tr.MaxProbe())
+	}
+}
+
+// fid2key is flowKey under a name the growth test can use with mixed
+// port/address bits exercised.
+func fid2key(fid uint64) Key { return flowKey(fid) }
+
+// TestMillionFlowInvariance is the acceptance matrix at scale: one
+// million flows, two passes each, attributed through RecordBatch under
+// Cores {1,2,4} × Batch {1,32} in both storage modes, with whole-flow
+// sharding and per-config merges — every configuration must produce
+// the same digest over the complete sorted per-flow state. Gated out
+// of -short runs: it holds two ~1M-flow trackers alive at its peak.
+func TestMillionFlowInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-flow invariance runs in the full suite only")
+	}
+	const F = 1 << 20
+	const passes = 2
+
+	digest := func(tr *Tracker) uint64 {
+		h := fnv.New64a()
+		var b [8]byte
+		w := func(v uint64) {
+			binary.BigEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+		for _, fs := range tr.Flows() {
+			w(uint64(fs.Key.Src))
+			w(uint64(fs.Key.Dst))
+			w(uint64(fs.Key.SrcPort)<<16 | uint64(fs.Key.DstPort))
+			w(fs.Received)
+			w(fs.Bytes)
+			w(fs.Stamped)
+			w(fs.Lost)
+			w(fs.Reordered)
+			w(fs.Duplicates)
+			w(fs.InterArrival.Count())
+			w(math.Float64bits(fs.InterArrival.Mean()))
+			w(math.Float64bits(fs.InterArrival.Variance()))
+		}
+		w(tr.ActiveFlows())
+		w(uint64(tr.NumFlows()))
+		return h.Sum64()
+	}
+
+	// Deterministic stream: pass p sends flow fid sequence p, except
+	// every 7th flow skips its pass-1 packet (a permanent gap → one
+	// lost) and every 5th flow duplicates its final packet.
+	runConfig := func(cores, batch int, reference bool) uint64 {
+		cfg := Config{SeqWindow: 64, Reference: reference}
+		shards := make([]*Tracker, cores)
+		for i := range shards {
+			shards[i] = NewTracker(cfg)
+		}
+		pend := make([][]Frame, cores)
+		fill := make([]int, cores)
+		for i := range pend {
+			pend[i] = make([]Frame, batch)
+		}
+		flush := func(s int) {
+			shards[s].RecordBatch(pend[s][:fill[s]])
+			fill[s] = 0
+		}
+		// Each shard owns its frame buffers: a pending train must keep
+		// its bytes intact until its shard flushes, and shards fill at
+		// different rates.
+		shardBufs := make([][][]byte, cores)
+		for s := range shardBufs {
+			shardBufs[s] = make([][]byte, batch)
+			for i := range shardBufs[s] {
+				shardBufs[s][i] = benchFrame()
+			}
+		}
+		emit := func(fid, seq uint64, at sim.Time) {
+			s := int(fid) % cores
+			buf := shardBufs[s][fill[s]]
+			patchFlow(buf, fid)
+			Stamp(buf[framePayloadOff:], seq, at-70)
+			pend[s][fill[s]] = Frame{Data: buf, Rx: at}
+			fill[s]++
+			if fill[s] == batch {
+				flush(s)
+			}
+		}
+		var at sim.Time
+		for p := uint64(0); p < passes; p++ {
+			for fid := uint64(0); fid < F; fid++ {
+				at += 100
+				if p == 1 && fid%7 == 0 {
+					continue // permanent gap
+				}
+				emit(fid, p, at)
+				if p == passes-1 && fid%5 == 0 {
+					at += 100
+					emit(fid, p, at) // duplicate
+				}
+			}
+		}
+		for s := 0; s < cores; s++ {
+			flush(s)
+		}
+		got := shards[0]
+		if cores > 1 {
+			got = NewTracker(cfg)
+			for _, s := range shards {
+				got.Merge(s)
+			}
+		}
+		return digest(got)
+	}
+
+	var want uint64
+	first := true
+	for _, reference := range []bool{false, true} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, batch := range []int{1, 32} {
+				got := runConfig(cores, batch, reference)
+				label := fmt.Sprintf("ref=%v cores=%d batch=%d", reference, cores, batch)
+				if first {
+					want = got
+					first = false
+					continue
+				}
+				if got != want {
+					t.Fatalf("%s: digest %#x, want %#x (config diverged at 1M flows)", label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzParse pins that arbitrary bytes never panic the parser and that
+// ok=true implies a self-consistent payload slice.
+func FuzzParse(f *testing.F) {
+	f.Add(benchFrame())
+	f.Add([]byte{})
+	f.Add(make([]byte, proto.EthHdrLen+proto.IPv4HdrLen))
+	truncated := benchFrame()[:proto.EthHdrLen+proto.IPv4HdrLen+2]
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, payload, ok := Parse(data)
+		if !ok {
+			return
+		}
+		if k.Proto != proto.IPProtoUDP && k.Proto != proto.IPProtoTCP {
+			t.Fatalf("ok parse with bogus proto %d", k.Proto)
+		}
+		if len(payload) > len(data) {
+			t.Fatalf("payload longer than frame")
+		}
+	})
+}
+
+// FuzzKeyRoundTrip synthesizes a frame from a fuzzed 5-tuple and pins
+// that Parse recovers exactly the tuple that built it — the Key
+// round-trip through the real header encoders.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add(uint32(0x0A000001), uint32(0x0A010001), uint16(1234), uint16(5678), false)
+	f.Add(uint32(0), uint32(0xFFFFFFFF), uint16(0), uint16(0), true)
+	f.Fuzz(func(t *testing.T, src, dst uint32, sport, dport uint16, tcp bool) {
+		b := make([]byte, 64)
+		var want Key
+		if tcp {
+			p := proto.TCPPacket{B: b}
+			p.Fill(proto.TCPPacketFill{
+				PktLength: 64,
+				IPSrc:     proto.IPv4(src), IPDst: proto.IPv4(dst),
+				TCPSrc: sport, TCPDst: dport,
+			})
+			want = Key{Proto: proto.IPProtoTCP, Src: proto.IPv4(src), Dst: proto.IPv4(dst),
+				SrcPort: sport, DstPort: dport}
+		} else {
+			p := proto.UDPPacket{B: b}
+			p.Fill(proto.UDPPacketFill{
+				PktLength: 64,
+				IPSrc:     proto.IPv4(src), IPDst: proto.IPv4(dst),
+				UDPSrc: sport, UDPDst: dport,
+			})
+			want = Key{Proto: proto.IPProtoUDP, Src: proto.IPv4(src), Dst: proto.IPv4(dst),
+				SrcPort: sport, DstPort: dport}
+		}
+		k, _, ok := Parse(b)
+		if !ok {
+			t.Fatalf("synthesized frame did not parse")
+		}
+		if k != want {
+			t.Fatalf("key round-trip: got %v, want %v", k, want)
+		}
+	})
+}
+
+// TestKeyHashDeterministic pins that the table hash is a pure function
+// of the key (no per-process seeding): a fixed key's hash is a fixed
+// constant, so slot placement and the exported table diagnostics are
+// reproducible across runs.
+func TestKeyHashDeterministic(t *testing.T) {
+	k := flowKey(12345)
+	if k.hash() != flowKey(12345).hash() {
+		t.Fatal("hash not deterministic within a process")
+	}
+	if flowKey(1).hash() == flowKey(2).hash() {
+		t.Fatal("adjacent fids collide — mixer is broken")
+	}
+}

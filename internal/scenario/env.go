@@ -212,7 +212,11 @@ func (e *Env) DrainRx() {
 func (e *Env) LaunchFlowSink(tr *flow.Tracker) *core.FlowSink {
 	e.build()
 	if e.rec != nil {
-		flows := e.Spec.EffectiveFlows()
+		// Per-flow columns only for explicitly declared flows: a
+		// churn-style scenario tracks far too many flows to give each
+		// a column, but still gets the probe's tracker-level columns
+		// (live flows, table load, probe length).
+		flows := e.Spec.Flows
 		cols := make([]telemetry.FlowCol, len(flows))
 		for i, f := range flows {
 			cols[i] = telemetry.FlowCol{Label: f.Name, Key: trackerKey(f)}

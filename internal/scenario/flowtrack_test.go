@@ -3,6 +3,7 @@ package scenario_test
 import (
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/scenario"
@@ -94,6 +95,63 @@ func TestReorderInvariantAcrossCoresAndBatch(t *testing.T) {
 			t.Errorf("cores=%d batch=%d: per-flow counts differ\n want %s\n  got %s",
 				cfg.cores, cfg.batch, want, got)
 		}
+	}
+}
+
+// churnFingerprint reduces a churn report to its model rows: every
+// scenario-specific row except the "(diag)" ones — the tracker
+// footprint sums k independently-rounded shard tables (power-of-two
+// slots, chunk-granular arenas), so its byte count legitimately
+// varies with the core count while the flow accounting must not.
+func churnFingerprint(r *scenario.Report) string {
+	s := ""
+	for _, row := range r.Rows {
+		if strings.Contains(row.Label, "(diag)") {
+			continue
+		}
+		s += fmt.Sprintf("%s=%v;", row.Label, row.Value)
+	}
+	return s
+}
+
+// TestChurnInvariantAcrossCoresAndBatch extends the flow-accounting
+// invariance pin to the churn scenario's arrival/departure process:
+// flows started, tracked and active, attributed frames and the
+// sequence verdicts (all zero on a clean run — nonzero would be a
+// tracker defect) are identical across Cores and Batch whenever the
+// core count divides the working set.
+func TestChurnInvariantAcrossCoresAndBatch(t *testing.T) {
+	base := runFlowScenario(t, "churn", 1, 32)
+	want := churnFingerprint(base)
+	if !strings.Contains(want, "flows tracked") || strings.Contains(want, "flows tracked (rx)=0;") {
+		t.Fatalf("base run tracked no flows: %s", want)
+	}
+	for _, lbl := range []string{"seq lost", "seq reordered", "seq duplicates"} {
+		if !strings.Contains(want, lbl+"=0;") {
+			t.Errorf("clean churn run must report %s=0: %s", lbl, want)
+		}
+	}
+	for _, cfg := range []struct{ cores, batch int }{
+		{1, 1}, {4, 32}, {4, 1}, {2, 32},
+	} {
+		got := churnFingerprint(runFlowScenario(t, "churn", cfg.cores, cfg.batch))
+		if got != want {
+			t.Errorf("cores=%d batch=%d: churn rows differ\n want %s\n  got %s",
+				cfg.cores, cfg.batch, want, got)
+		}
+	}
+}
+
+// TestChurnRejectsUnevenWorkingSet: a core count that does not divide
+// the churn working set would split flows across shards; the scenario
+// must refuse.
+func TestChurnRejectsUnevenWorkingSet(t *testing.T) {
+	sc, _ := scenario.Get("churn")
+	spec := sc.DefaultSpec()
+	spec.Runtime = sim.Millisecond
+	spec.Cores = 3 // working set 1024
+	if _, err := scenario.Execute("churn", spec, io.Discard); err == nil {
+		t.Fatal("cores=3 with a 1024-flow working set did not error")
 	}
 }
 

@@ -140,6 +140,14 @@ type Spec struct {
 	// count.
 	ShardIndex int
 	ShardCount int
+	// ChurnFlows is the churn scenario's live-flow working set: the
+	// number of concurrently active flows in each generation. Shard
+	// counts must divide it so generations partition evenly.
+	ChurnFlows int
+	// ChurnLife is the churn scenario's flow lifetime in packets: a
+	// flow departs after sending this many and its slot is taken by a
+	// fresh flow (a new 5-tuple) in the next generation.
+	ChurnLife int
 	// UseDuT routes traffic through the simulated Open vSwitch
 	// forwarder (generator → DuT → sink) instead of a direct cable.
 	UseDuT bool

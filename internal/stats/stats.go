@@ -381,6 +381,15 @@ func (h *Histogram) Merge(other *Histogram) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// FootprintBytes returns the histogram's resident memory: the dense
+// bucket window, the retained sample buffer, and an estimate for the
+// sparse overflow map (per-entry key+count plus bucket overhead). The
+// flow tracker uses it to account lazily created per-flow histograms
+// in its table-footprint diagnostics.
+func (h *Histogram) FootprintBytes() uint64 {
+	return uint64(len(h.dense))*8 + uint64(cap(h.samples))*8 + uint64(len(h.bins))*24
+}
+
 // Mean returns the sample mean.
 func (h *Histogram) Mean() sim.Duration {
 	if h.count == 0 {

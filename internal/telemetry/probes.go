@@ -38,25 +38,46 @@ type FlowCol struct {
 	Key flow.Key
 }
 
-// FlowProbe samples per-flow tracker aggregates: received, lost,
-// reordered and duplicate counts, plus latency quantiles (p50/p99,
-// integer nanoseconds) when the tracker records latency. Each flow's
-// stats struct is force-created at registration and bound directly, so
-// sampling is a field read regardless of arrival order.
+// FlowProbe samples the flow tracker: tracker-level columns first —
+// live flows (flows that have received at least one packet), the flat
+// table's load factor (permille) and its longest probe chain — then,
+// per named flow, received/lost/reordered/duplicate counts plus
+// latency quantiles (p50/p99, integer nanoseconds) when the tracker
+// records latency. Each named flow's stats struct is force-created at
+// registration and bound directly, so sampling is a field read
+// regardless of arrival order; a force-created flow has Received == 0
+// and does not count as live.
 //
 // Sharding: a flow is wholly owned by one shard (the generators
 // partition flows), so every other shard samples zeros for it and
-// RuleSum reproduces the owning shard's values exactly — including
-// the quantile columns, which would not survive a genuine cross-shard
-// sum. The quantiles are still diagnostics: flow accounting is
+// RuleSum reproduces the owning shard's values exactly — per-flow
+// counts and the live count both survive the sum. The table columns
+// are diagnostics under RuleMax: load factor and probe length are
+// properties of each shard's private table, not additive quantities.
+// The quantile columns are diagnostics too: flow accounting is
 // invariant in the core count, but wire timing legitimately differs
 // between one shared wire and k private ones (the same line the
 // report-level invariance tests draw), so latency columns would break
-// the model series' cross-core byte-identity. Quantile sampling also
-// sorts the tracker's latency samples, so the flow probe is for
-// observed runs and goldens, not for the zero-alloc benchmark class.
+// the model series' cross-core byte-identity. Their guards handle the
+// lazy histogram contract — a flow that never carries a stamped
+// timestamp never allocates a histogram, and its quantiles read 0
+// exactly as an empty histogram's did. Quantile sampling also sorts
+// the tracker's latency samples, so the flow probe is for observed
+// runs and goldens, not for the zero-alloc benchmark class.
 func FlowProbe(tr *flow.Tracker, flows []FlowCol) Probe {
-	var cols []Column
+	cols := []Column{
+		{Name: "live", Rule: RuleSum, Sample: tr.ActiveFlows},
+		{Name: "table_load_pm", Rule: RuleMax, Diag: true, Sample: func() uint64 {
+			used, capacity := tr.TableLoad()
+			if capacity == 0 {
+				return 0
+			}
+			return uint64(used) * 1000 / uint64(capacity)
+		}},
+		{Name: "table_probe_max", Rule: RuleMax, Diag: true, Sample: func() uint64 {
+			return uint64(tr.MaxProbe())
+		}},
+	}
 	for _, fc := range flows {
 		fs := tr.Flow(fc.Key)
 		cols = append(cols,
@@ -65,13 +86,12 @@ func FlowProbe(tr *flow.Tracker, flows []FlowCol) Probe {
 			Column{Name: fc.Label + ".reordered", Rule: RuleSum, Sample: func() uint64 { return fs.Reordered }},
 			Column{Name: fc.Label + ".dup", Rule: RuleSum, Sample: func() uint64 { return fs.Duplicates }},
 		)
-		if fs.Latency != nil {
-			h := fs.Latency
+		if tr.LatencyEnabled() {
 			quantile := func(p float64) uint64 {
-				if h.Count() == 0 {
+				if fs.Latency == nil || fs.Latency.Count() == 0 {
 					return 0
 				}
-				return uint64(int64(h.Percentile(p)) / int64(sim.Nanosecond))
+				return uint64(int64(fs.Latency.Percentile(p)) / int64(sim.Nanosecond))
 			}
 			cols = append(cols,
 				Column{Name: fc.Label + ".lat_p50_ns", Rule: RuleSum, Diag: true, Sample: func() uint64 { return quantile(50) }},
