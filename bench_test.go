@@ -19,7 +19,9 @@ import (
 	"repro/internal/nic"
 	"repro/internal/proto"
 	"repro/internal/rate"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -561,5 +563,50 @@ func BenchmarkTxBurstSteadyState(b *testing.B) {
 		app.Eng.Schedule(app.Eng.Now(), send)
 		app.Eng.RunAll() // transmit, deliver and recycle the burst
 		ba.Clear(cur)
+	}
+}
+
+// BenchmarkSpecCompiledLineRate is the spec layer's 0 allocs/op pin:
+// it loads examples/specs/flood-linerate.yaml through internal/spec,
+// compiles it into a scenario.Spec at load time (outside the timer),
+// and drives the resulting line-rate flood in steady state. The
+// benchmarked loop must be indistinguishable from the compiled-Go
+// flood — the declarative layer is interpretation at load time only,
+// never per packet.
+func BenchmarkSpecCompiledLineRate(b *testing.B) {
+	doc, err := spec.Load("examples/specs/flood-linerate.yaml")
+	if err != nil {
+		b.Fatal(err)
+	}
+	name, sp, err := doc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if name != "flood" {
+		b.Fatalf("spec compiles to %q, want flood", name)
+	}
+	env := scenario.NewEnv(sp, nil)
+	// Sink setup as in benchPair: the receiver consumes every frame at
+	// the wire as a pure function of (bytes, rxTime), so deliveries may
+	// coalesce into trains without observable difference.
+	env.RX().SetDeliverHook(func(f *wire.Frame, at sim.Time) bool { return true })
+	env.TX().Link().SetDeliverySlack(nic.SinkDeliverySlack(env.TX().Speed()))
+	if _, err := scenario.LaunchLoad(env); err != nil {
+		b.Fatal(err)
+	}
+	app := env.App()
+	app.Eng.Run(app.Eng.Now().Add(sim.Millisecond)) // warmup millisecond
+	warm := env.TX().GetStats().TxPackets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Eng.Run(app.Eng.Now().Add(sim.Millisecond))
+	}
+	b.StopTimer()
+	st := env.TX().GetStats()
+	b.ReportMetric(float64(st.TxPackets-warm)/float64(b.N), "sim-pkts/iter")
+	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
+		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())
+		b.ReportMetric(simNS/float64(wall), "sim/wall")
 	}
 }

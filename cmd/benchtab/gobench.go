@@ -56,7 +56,7 @@ type benchPass struct {
 var benchPasses = []benchPass{
 	{name: "figures", pkg: ".", benchRE: ".", benchtime: "1x"},
 	{name: "micro", pkg: ".",
-		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkTelemetryOverhead|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
+		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkSpecCompiledLineRate|BenchmarkTelemetryOverhead|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
 		benchtime: "100x", count: 3},
 	{name: "engine", pkg: "./internal/sim", benchRE: "^BenchmarkEngine", benchtime: "100x", count: 3},
 	{name: "flow", pkg: "./internal/flow", benchRE: "^BenchmarkFlowTracker", benchtime: "100x", count: 3},
@@ -176,6 +176,7 @@ func runGoBench(path, cpuProfile, memProfile string) error {
 var gatedBenchmarks = map[string]bool{
 	"BenchmarkTable1PacketIO":       true,
 	"BenchmarkSimulatedLineRate":    true,
+	"BenchmarkSpecCompiledLineRate": true,
 	"BenchmarkTelemetryOverhead":    true,
 	"BenchmarkTxBurstSteadyState":   true,
 	"BenchmarkRxBurstSteadyState":   true,

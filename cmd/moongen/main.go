@@ -1,17 +1,21 @@
-// Command moongen runs named traffic scenarios from the scenario
-// registry on the simulated testbed — the CLI face of the library,
-// mirroring `MoonGen <script.lua> <args>`. Scenarios register
-// themselves (internal/scenario for the load scenarios,
-// internal/experiments for the measurement-backed ones); this driver
-// only maps flags onto the declarative Spec and prints the report.
+// Command moongen runs traffic scenarios on the simulated testbed —
+// the CLI face of the library, mirroring `MoonGen <script.lua> <args>`.
+// Scenarios register themselves (internal/scenario for the load
+// scenarios, internal/experiments for the measurement-backed ones);
+// this driver only maps flags onto the declarative Spec and prints the
+// report.
 //
 // Usage:
 //
 //	moongen list
 //	moongen <scenario> [flags]
+//	moongen run <spec.yaml|spec.json> [flags]
 //
-// Flags override the scenario's default spec; the flagDefs table below
-// is the single source for both the FlagSet and the usage synopsis.
+// The named form starts from the scenario's default spec; the run form
+// starts from a declarative spec file (see docs/spec-reference.md)
+// compiled at load time by internal/spec. In both forms flags override
+// the starting spec; the flagDefs table below is the single source for
+// both the FlagSet and the usage synopsis.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/spec"
 
 	// Registers the experiment-backed scenarios (interarrival-*,
 	// timestamps).
@@ -30,7 +35,7 @@ import (
 )
 
 // options collects the parsed flag values before they are applied onto
-// the scenario's default spec.
+// the starting spec (scenario default or compiled spec file).
 type options struct {
 	rateMpps    float64
 	size        int
@@ -58,71 +63,75 @@ type options struct {
 // never drift apart.
 var flagDefs = []struct {
 	synopsis string
-	register func(fs *flag.FlagSet, o *options, spec scenario.Spec)
+	register func(fs *flag.FlagSet, o *options, sp scenario.Spec)
 }{
-	{"-rate M", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.Float64Var(&o.rateMpps, "rate", spec.RateMpps, "rate [Mpps] (0 = line rate where applicable)")
+	{"-rate M", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.Float64Var(&o.rateMpps, "rate", sp.RateMpps, "rate [Mpps] (0 = line rate where applicable)")
 	}},
-	{"-size B", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.size, "size", spec.PktSize, "frame size without FCS")
+	{"-size B", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.size, "size", sp.PktSize, "frame size without FCS")
 	}},
-	{"-runtime MS", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.Float64Var(&o.runMS, "runtime", spec.Runtime.Seconds()*1e3, "simulated run time [ms]")
+	{"-runtime MS", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.Float64Var(&o.runMS, "runtime", sp.Runtime.Seconds()*1e3, "simulated run time [ms]")
 	}},
-	{"-seed N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.Int64Var(&o.seed, "seed", spec.Seed, "simulation seed")
+	{"-seed N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.Int64Var(&o.seed, "seed", sp.Seed, "simulation seed")
 	}},
-	{"-pattern P", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.StringVar(&o.pattern, "pattern", string(spec.Pattern), "pattern: linerate, cbr, poisson or bursts")
+	{"-pattern P", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.StringVar(&o.pattern, "pattern", string(sp.Pattern), "pattern: linerate, cbr, softcbr, poisson or bursts")
 	}},
-	{"-burst N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.burst, "burst", spec.Burst, "burst size for the bursts pattern")
+	{"-burst N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.burst, "burst", sp.Burst, "burst size for the bursts pattern")
 	}},
-	{"-batch N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.batch, "batch", spec.Batch, "TX burst size through the batched datapath (1 = per-packet)")
+	{"-batch N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.batch, "batch", sp.Batch, "TX burst size through the batched datapath (1 = per-packet)")
 	}},
-	{"-probes N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.probes, "probes", spec.Probes, "timestamped latency probes (0 = none)")
+	{"-probes N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.probes, "probes", sp.Probes, "timestamped latency probes (0 = none)")
 	}},
-	{"-samples N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.samples, "samples", spec.Samples, "samples for distribution measurements")
+	{"-samples N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.samples, "samples", sp.Samples, "samples for distribution measurements")
 	}},
-	{"-steps N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.steps, "steps", spec.Steps, "sweep steps for sweeping scenarios")
+	{"-steps N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.steps, "steps", sp.Steps, "sweep steps for sweeping scenarios")
 	}},
-	{"-dut", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.BoolVar(&o.useDuT, "dut", spec.UseDuT, "route traffic through the simulated DuT forwarder")
+	{"-dut", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.BoolVar(&o.useDuT, "dut", sp.UseDuT, "route traffic through the simulated DuT forwarder")
 	}},
-	{"-cores N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.cores, "cores", spec.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
+	{"-cores N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.cores, "cores", sp.Cores, "modeled cores (> 1 runs sharded engines and merges the reports)")
 	}},
-	{"-flows N", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.flows, "flows", len(spec.Flows), "declared flow count (0 keeps the scenario's default flow set)")
+	{"-flows N", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.flows, "flows", len(sp.Flows), "declared flow count (0 keeps the scenario's default flow set)")
 	}},
-	{"-churn-flows W", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.churnFlows, "churn-flows", spec.ChurnFlows, "churn scenario: live-flow working set size")
+	{"-churn-flows W", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.churnFlows, "churn-flows", sp.ChurnFlows, "churn scenario: live-flow working set size")
 	}},
-	{"-churn-life R", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.IntVar(&o.churnLife, "churn-life", spec.ChurnLife, "churn scenario: flow lifetime in packets")
+	{"-churn-life R", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.IntVar(&o.churnLife, "churn-life", sp.ChurnLife, "churn scenario: flow lifetime in packets")
 	}},
-	{"-telemetry PATH", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
+	{"-telemetry PATH", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
 		fs.StringVar(&o.telemetry, "telemetry", "", "record windowed telemetry to PATH (.jsonl switches to JSONL, else CSV)")
 	}},
-	{"-telemetry-interval MS", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.Float64Var(&o.telemetryMS, "telemetry-interval", 1, "telemetry window length [ms of simulated time]")
+	{"-telemetry-interval MS", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		def := 1.0
+		if sp.TelemetryInterval > 0 {
+			def = sp.TelemetryInterval.Seconds() * 1e3
+		}
+		fs.Float64Var(&o.telemetryMS, "telemetry-interval", def, "telemetry window length [ms of simulated time]")
 	}},
-	{"-telemetry-diag", func(fs *flag.FlagSet, o *options, spec scenario.Spec) {
-		fs.BoolVar(&o.telemetryDg, "telemetry-diag", false, "include diagnostic columns (engine/pool internals; vary with -cores/-batch)")
+	{"-telemetry-diag", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.BoolVar(&o.telemetryDg, "telemetry-diag", sp.TelemetryDiag, "include diagnostic columns (engine/pool internals; vary with -cores/-batch)")
 	}},
 }
 
 // newFlagSet builds the scenario FlagSet from flagDefs, seeded with the
-// scenario's default spec.
-func newFlagSet(name string, spec scenario.Spec) (*flag.FlagSet, *options) {
+// starting spec so flag defaults reflect what will run.
+func newFlagSet(name string, sp scenario.Spec) (*flag.FlagSet, *options) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	o := &options{}
 	for _, d := range flagDefs {
-		d.register(fs, o, spec)
+		d.register(fs, o, sp)
 	}
 	return fs, o
 }
@@ -133,9 +142,26 @@ func main() {
 		os.Exit(2)
 	}
 	name := os.Args[1]
-	if name == "list" || name == "-list" || name == "--list" {
+	switch name {
+	case "list", "-list", "--list":
 		runList(os.Stdout)
 		return
+	case "run":
+		if len(os.Args) < 3 || strings.HasPrefix(os.Args[2], "-") {
+			fmt.Fprintln(os.Stderr, "usage: moongen run <spec.yaml|spec.json> [flags]")
+			os.Exit(2)
+		}
+		doc, err := spec.Load(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		scName, compiled, err := doc.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runScenario(scName, compiled, os.Args[3:]))
 	}
 	sc, ok := scenario.Get(name)
 	if !ok {
@@ -143,76 +169,82 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	os.Exit(runScenario(name, sc.DefaultSpec(), os.Args[2:]))
+}
 
-	spec := sc.DefaultSpec()
-	fs, o := newFlagSet(name, spec)
-	_ = fs.Parse(os.Args[2:])
+// runScenario applies the CLI flags on top of the starting spec, wires
+// the optional telemetry file, executes and prints the report. It is
+// the shared tail of both `moongen <scenario>` and `moongen run`; the
+// returned value is the process exit code.
+func runScenario(name string, sp scenario.Spec, args []string) int {
+	fs, o := newFlagSet(name, sp)
+	_ = fs.Parse(args)
 
-	spec.RateMpps = o.rateMpps
-	spec.PktSize = o.size
+	sp.RateMpps = o.rateMpps
+	sp.PktSize = o.size
 	if o.runMS > 0 {
-		spec.Runtime = sim.FromSeconds(o.runMS / 1e3)
+		sp.Runtime = sim.FromSeconds(o.runMS / 1e3)
 	}
-	spec.Seed = o.seed
-	spec.Pattern = scenario.Pattern(o.pattern)
-	spec.Burst = o.burst
-	spec.Batch = o.batch
-	spec.Probes = o.probes
-	spec.Samples = o.samples
-	spec.Steps = o.steps
-	spec.UseDuT = o.useDuT
-	spec.Cores = o.cores
-	spec.ChurnFlows = o.churnFlows
-	spec.ChurnLife = o.churnLife
-	if o.flows > 0 && o.flows != len(spec.Flows) {
-		// Resizing is only meaningful for scenarios whose default flow
-		// set is the generic FlowSet; curated flow sets (qos's shaped
-		// EF/BE pair) carry per-flow rates and marks a generic
-		// replacement would silently zero out, and scenarios declaring
-		// no flows never consume a flow count.
-		if !isGenericFlowSet(spec.Flows) {
+	sp.Seed = o.seed
+	sp.Pattern = scenario.Pattern(o.pattern)
+	sp.Burst = o.burst
+	sp.Batch = o.batch
+	sp.Probes = o.probes
+	sp.Samples = o.samples
+	sp.Steps = o.steps
+	sp.UseDuT = o.useDuT
+	sp.Cores = o.cores
+	sp.ChurnFlows = o.churnFlows
+	sp.ChurnLife = o.churnLife
+	if o.flows > 0 && o.flows != len(sp.Flows) {
+		// Resizing is only meaningful for scenarios whose flow set is
+		// the generic FlowSet; curated flow sets (qos's shaped EF/BE
+		// pair, spec-file flows with marks and rates) carry per-flow
+		// state a generic replacement would silently zero out, and
+		// scenarios declaring no flows never consume a flow count.
+		if !isGenericFlowSet(sp.Flows) {
 			fmt.Fprintf(os.Stderr, "scenario %s does not take a flow count; -flows only applies to flow-tracked scenarios\n", name)
-			os.Exit(2)
+			return 2
 		}
-		spec.Flows = scenario.FlowSet(o.flows)
+		sp.Flows = scenario.FlowSet(o.flows)
 	}
 
 	var telFile *os.File
 	if o.telemetry != "" {
 		if o.telemetryMS <= 0 {
 			fmt.Fprintln(os.Stderr, "-telemetry-interval must be > 0")
-			os.Exit(2)
+			return 2
 		}
-		spec.TelemetryInterval = sim.FromSeconds(o.telemetryMS / 1e3)
-		spec.TelemetryJSONL = strings.HasSuffix(o.telemetry, ".jsonl")
-		spec.TelemetryDiag = o.telemetryDg
+		sp.TelemetryInterval = sim.FromSeconds(o.telemetryMS / 1e3)
+		sp.TelemetryJSONL = strings.HasSuffix(o.telemetry, ".jsonl")
+		sp.TelemetryDiag = o.telemetryDg
 		f, err := os.Create(o.telemetry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		telFile = f
-		if spec.Cores <= 1 {
+		if sp.Cores <= 1 {
 			// Single engine: rows stream to the file as they are
 			// recorded. Sharded runs write the merged series below —
 			// per-shard streams would carry partial counters.
-			spec.TelemetryStream = f
+			sp.TelemetryStream = f
 		}
 	}
 
-	rep, err := scenario.Execute(name, spec, os.Stdout)
+	rep, err := scenario.Execute(name, sp, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if telFile != nil {
-		if spec.TelemetryStream == nil {
+		if sp.TelemetryStream == nil {
 			if rep.Telemetry == nil {
 				fmt.Fprintf(os.Stderr, "telemetry: scenario %s produced no series (it bypasses the standard testbed)\n", name)
-			} else if spec.TelemetryJSONL {
-				err = rep.Telemetry.WriteJSONL(telFile, spec.TelemetryDiag)
+			} else if sp.TelemetryJSONL {
+				err = rep.Telemetry.WriteJSONL(telFile, sp.TelemetryDiag)
 			} else {
-				err = rep.Telemetry.WriteCSV(telFile, spec.TelemetryDiag)
+				err = rep.Telemetry.WriteCSV(telFile, sp.TelemetryDiag)
 			}
 		}
 		if cerr := telFile.Close(); err == nil {
@@ -220,10 +252,11 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "telemetry:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	rep.Print(os.Stdout)
+	return 0
 }
 
 // isGenericFlowSet reports whether flows is exactly the generic
@@ -264,6 +297,7 @@ func synopsis() string {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, synopsis())
+	fmt.Fprintln(os.Stderr, "       moongen run <spec.yaml|spec.json> [flags]")
 	fmt.Fprintln(os.Stderr, "       moongen list")
 	fmt.Fprintln(os.Stderr)
 	runList(os.Stderr)

@@ -1,0 +1,92 @@
+// README doc-sync: the CLI-surface blocks in README.md are generated
+// from the binary itself — the synopsis from the flagDefs table and
+// the scenario list from the live registry. This test pins them
+// byte-for-byte so the README cannot drift from the code; regenerate
+// deliberately with
+//
+//	go test ./cmd/moongen -run TestReadmeMatchesCLI -update-readme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateReadme = flag.Bool("update-readme", false, "rewrite README.md generated blocks from the CLI")
+
+const readmePath = "../../README.md"
+
+// generatedBlocks maps each marker name to the content its README
+// block must hold, rendered fresh from the same code paths the binary
+// runs.
+func generatedBlocks() map[string]string {
+	var list strings.Builder
+	runList(&list)
+
+	synopsisBlock := synopsis() + "\n" +
+		"       moongen run <spec.yaml|spec.json> [flags]\n" +
+		"       moongen list\n"
+
+	return map[string]string{
+		"moongen-synopsis": synopsisBlock,
+		"moongen-list":     list.String(),
+	}
+}
+
+// renderBlock wraps content in the marker pair and a plain code fence
+// — the exact bytes the README must contain.
+func renderBlock(name, content string) string {
+	return fmt.Sprintf("<!-- generated:%s begin -->\n```\n%s```\n<!-- generated:%s end -->", name, content, name)
+}
+
+// findBlock returns the region of src spanning name's begin/end
+// markers inclusive, or an error if the markers are missing.
+func findBlock(src, name string) (start, end int, err error) {
+	begin := fmt.Sprintf("<!-- generated:%s begin -->", name)
+	endMark := fmt.Sprintf("<!-- generated:%s end -->", name)
+	i := strings.Index(src, begin)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("README.md is missing marker %q", begin)
+	}
+	j := strings.Index(src[i:], endMark)
+	if j < 0 {
+		return 0, 0, fmt.Errorf("README.md is missing marker %q", endMark)
+	}
+	return i, i + j + len(endMark), nil
+}
+
+func TestReadmeMatchesCLI(t *testing.T) {
+	raw, err := os.ReadFile(readmePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(raw)
+
+	changed := false
+	for name, content := range generatedBlocks() {
+		want := renderBlock(name, content)
+		start, end, err := findBlock(src, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := src[start:end]
+		if got == want {
+			continue
+		}
+		if *updateReadme {
+			src = src[:start] + want + src[end:]
+			changed = true
+			continue
+		}
+		t.Errorf("README block %q is out of sync with the CLI (regenerate with -update-readme)\n--- README:\n%s\n--- CLI:\n%s", name, got, want)
+	}
+
+	if changed {
+		if err := os.WriteFile(readmePath, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// TestExampleSpecsLoadAndRun keeps the example library honest: every
+// file in examples/specs/ must load, validate, compile and complete a
+// short run. Docs examples cannot rot — a schema change that orphans
+// an example fails here, not in a user's terminal.
+package repro
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func TestExampleSpecsLoadAndRun(t *testing.T) {
+	paths, err := filepath.Glob("examples/specs/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("examples/specs/ holds %d specs, want at least 5", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			doc, err := spec.Load(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			name, sp, err := doc.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Shrink to smoke-test size: the example's declared traffic
+			// shape runs unchanged, just not for its full duration.
+			if sp.Runtime > 2*sim.Millisecond {
+				sp.Runtime = 2 * sim.Millisecond
+			}
+			if sp.Probes > 20 {
+				sp.Probes = 20
+			}
+			if sp.Samples > 2000 {
+				sp.Samples = 2000
+			}
+			rep, err := scenario.Execute(name, sp, io.Discard)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if rep.TxPackets == 0 && rep.RxPackets == 0 && len(rep.Rows) == 0 {
+				t.Fatalf("%s: report is empty", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// parseJSON reads a JSON document into the same line-numbered node tree
+// the YAML reader produces, so the schema layer anchors errors
+// identically for both syntaxes. Lines come from the decoder's byte
+// offsets mapped through the newline positions of the source.
+func parseJSON(file string, src []byte) (*node, error) {
+	dec := json.NewDecoder(strings.NewReader(string(src)))
+	dec.UseNumber()
+	lines := newlineOffsets(src)
+	root, err := decodeJSONValue(dec, file, lines)
+	if err != nil {
+		return nil, err
+	}
+	// Reject trailing content after the document.
+	if tok, err := dec.Token(); err == nil {
+		return nil, fmt.Errorf("%s:%d: unexpected content after the document: %v", file, lineAt(lines, dec.InputOffset()), tok)
+	}
+	return root, nil
+}
+
+// newlineOffsets returns the byte offsets of every newline, for mapping
+// decoder offsets to 1-based line numbers.
+func newlineOffsets(src []byte) []int64 {
+	var out []int64
+	for i, b := range src {
+		if b == '\n' {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+func lineAt(lines []int64, off int64) int {
+	return sort.Search(len(lines), func(i int) bool { return lines[i] >= off }) + 1
+}
+
+func decodeJSONValue(dec *json.Decoder, file string, lines []int64) (*node, error) {
+	startLine := lineAt(lines, dec.InputOffset())
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("%s:%d: %v", file, startLine, err)
+	}
+	line := lineAt(lines, dec.InputOffset())
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			m := &node{kind: mapNode, line: line}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", file, lineAt(lines, dec.InputOffset()), err)
+				}
+				keyLine := lineAt(lines, dec.InputOffset())
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("%s:%d: object key is not a string: %v", file, keyLine, keyTok)
+				}
+				for _, k := range m.keys {
+					if k == key {
+						return nil, fmt.Errorf("%s:%d: duplicate key %q", file, keyLine, key)
+					}
+				}
+				val, err := decodeJSONValue(dec, file, lines)
+				if err != nil {
+					return nil, err
+				}
+				m.keys = append(m.keys, key)
+				m.keyLines = append(m.keyLines, keyLine)
+				m.vals = append(m.vals, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, fmt.Errorf("%s:%d: %v", file, lineAt(lines, dec.InputOffset()), err)
+			}
+			return m, nil
+		case '[':
+			lst := &node{kind: listNode, line: line}
+			for dec.More() {
+				item, err := decodeJSONValue(dec, file, lines)
+				if err != nil {
+					return nil, err
+				}
+				lst.items = append(lst.items, item)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, fmt.Errorf("%s:%d: %v", file, lineAt(lines, dec.InputOffset()), err)
+			}
+			return lst, nil
+		}
+		return nil, fmt.Errorf("%s:%d: unexpected delimiter %v", file, line, t)
+	case string:
+		return &node{kind: scalarNode, line: line, val: t, quoted: true}, nil
+	case json.Number:
+		return &node{kind: scalarNode, line: line, val: t.String()}, nil
+	case bool:
+		return &node{kind: scalarNode, line: line, val: fmt.Sprintf("%v", t)}, nil
+	case nil:
+		return &node{kind: scalarNode, line: line, val: ""}, nil
+	}
+	return nil, fmt.Errorf("%s:%d: unexpected token %v", file, line, tok)
+}

@@ -1,0 +1,943 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/proto"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Version is the spec schema version this build reads. Documents carry
+// an explicit `version:` key; unknown versions are rejected rather than
+// best-effort parsed, so a spec never silently means something else
+// under a different build. See docs/spec-reference.md for the
+// compatibility policy.
+const Version = 1
+
+// Document is a parsed scenario spec: the scenario it composes plus the
+// overlay of every field the file sets. Fields the file does not set
+// stay nil and fall through to the registered scenario's DefaultSpec at
+// Compile time, so a spec only says what it changes.
+//
+// Parse performs the full schema walk (unknown keys, types, units);
+// Compile overlays onto the scenario's defaults and runs the semantic
+// checks that need the merged view (pattern/rate coherence, link
+// capacity, core sharding). Both stages anchor every error to the
+// source line.
+type Document struct {
+	// File is the name errors are anchored to.
+	File string
+	// Scenario is the registered scenario the spec composes.
+	Scenario string
+	// Description is free-form text (reports and docs only).
+	Description string
+
+	scenarioLine int
+
+	seed    *int64
+	runtime *sim.Duration
+	cores   *int
+	batch   *int
+
+	pattern *scenario.Pattern
+	rate    *float64
+	size    *int
+	burst   *int
+	steps   *int
+	mix     []scenario.SizeShare
+
+	flows    []scenario.Flow
+	hasFlows bool
+
+	churnFlows *int
+	churnLife  *int
+
+	probes  *int
+	samples *int
+
+	dut *bool
+
+	telemetryInterval *sim.Duration
+	telemetryDiag     *bool
+
+	runtimeLine    int
+	coresLine      int
+	patternLine    int
+	rateLine       int
+	sizeLine       int
+	flowsLine      int
+	churnFlowsLine int
+}
+
+// Load reads and parses a spec file (YAML by default, JSON when the
+// file is .json or starts with '{').
+func Load(path string) (*Document, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(src, filepath.Base(path))
+}
+
+// Parse parses a spec from bytes; name labels error messages
+// ("name:line: ...").
+func Parse(src []byte, name string) (*Document, error) {
+	var (
+		root *node
+		err  error
+	)
+	if isJSON(src, name) {
+		root, err = parseJSON(name, src)
+	} else {
+		root, err = parseYAML(name, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{File: name}
+	if err := d.walk(root); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Validate parses and compiles a spec, returning the first error. This
+// is the entry point the docs CI job drives fenced `yaml` snippets
+// through: a snippet that validates is a snippet that runs.
+func Validate(src []byte, name string) error {
+	d, err := Parse(src, name)
+	if err != nil {
+		return err
+	}
+	_, _, err = d.Compile()
+	return err
+}
+
+// Compile resolves the document into a runnable (scenario name,
+// scenario.Spec) pair: the registered scenario's DefaultSpec overlaid
+// with every field the file sets, then semantically validated as a
+// whole. All interpretation happens here, at load time — the returned
+// Spec drives exactly the same compiled-Go path as `moongen <name>`,
+// so nothing spec-shaped survives into the hot path.
+func (d *Document) Compile() (string, scenario.Spec, error) {
+	sc, ok := scenario.Get(d.Scenario)
+	if !ok {
+		return "", scenario.Spec{}, d.errAt(d.scenarioLine,
+			"scenario: unknown scenario %q (available: %s)", d.Scenario, strings.Join(scenario.Names(), ", "))
+	}
+	s := sc.DefaultSpec()
+	if d.seed != nil {
+		s.Seed = *d.seed
+	}
+	if d.runtime != nil {
+		s.Runtime = *d.runtime
+	}
+	if d.cores != nil {
+		s.Cores = *d.cores
+	}
+	if d.batch != nil {
+		s.Batch = *d.batch
+	}
+	if d.pattern != nil {
+		s.Pattern = *d.pattern
+	}
+	if d.rate != nil {
+		s.RateMpps = *d.rate
+	}
+	if d.size != nil {
+		s.PktSize = *d.size
+	}
+	if d.burst != nil {
+		s.Burst = *d.burst
+	}
+	if d.steps != nil {
+		s.Steps = *d.steps
+	}
+	if d.mix != nil {
+		s.Mix = d.mix
+	}
+	if d.hasFlows {
+		s.Flows = d.flows
+	}
+	if d.churnFlows != nil {
+		s.ChurnFlows = *d.churnFlows
+	}
+	if d.churnLife != nil {
+		s.ChurnLife = *d.churnLife
+	}
+	if d.probes != nil {
+		s.Probes = *d.probes
+	}
+	if d.samples != nil {
+		s.Samples = *d.samples
+	}
+	if d.dut != nil {
+		s.UseDuT = *d.dut
+	}
+	if d.telemetryInterval != nil {
+		s.TelemetryInterval = *d.telemetryInterval
+	}
+	if d.telemetryDiag != nil {
+		s.TelemetryDiag = *d.telemetryDiag
+	}
+	if err := d.check(sc, s); err != nil {
+		return "", scenario.Spec{}, err
+	}
+	return d.Scenario, s, nil
+}
+
+// check runs the semantic validations that need the merged
+// (defaults + overlay) view of the spec.
+func (d *Document) check(sc scenario.Scenario, s scenario.Spec) error {
+	anchor := func(line int) int {
+		if line > 0 {
+			return line
+		}
+		return d.scenarioLine
+	}
+
+	if s.Cores > 1 {
+		if sco, ok := sc.(scenario.SingleCoreOnly); ok {
+			return d.errAt(anchor(d.coresLine),
+				"cores: scenario %q is single-core only (%s); remove cores or set it to 1", d.Scenario, sco.SingleCoreOnly())
+		}
+	}
+
+	switch s.Pattern {
+	case scenario.PatternLineRate, "":
+	case scenario.PatternCBR, scenario.PatternSoftCBR, scenario.PatternPoisson, scenario.PatternBursts:
+		if s.RateMpps <= 0 && !flowsCarryRate(s) {
+			return d.errAt(anchor(d.patternLine),
+				"load.pattern: pattern %q needs a rate; set load.rate (e.g. \"2mpps\")", s.Pattern)
+		}
+	default:
+		return d.errAt(anchor(d.patternLine),
+			"load.pattern: unknown pattern %q (one of: linerate, cbr, softcbr, poisson, bursts)", s.Pattern)
+	}
+
+	// The cbr pattern models the NIC's hardware shaper, which cannot
+	// oversubscribe the link — a spec asking for more than line rate is
+	// a mistake, not an overload experiment (softcbr models overload:
+	// it pushes the exact software grid regardless of wire capacity and
+	// lets the link drop).
+	if s.Pattern == scenario.PatternCBR {
+		size := s.PktSize
+		if size <= 0 {
+			size = 60
+		}
+		capMpps := wire.LineRatePPS(wire.Speed10G, size+proto.FCSLen) / 1e6
+		if s.RateMpps > capMpps {
+			return d.errAt(anchor(d.rateLine),
+				"load.rate: %g Mpps exceeds the 10GbE line rate (%.2f Mpps at %d-byte frames) — the cbr hardware shaper cannot oversubscribe the link; use pattern softcbr to model overload",
+				s.RateMpps, capMpps, size+proto.FCSLen)
+		}
+		for _, f := range s.Flows {
+			if f.RateMpps <= 0 {
+				continue
+			}
+			fsize := f.PktSize
+			if fsize <= 0 {
+				fsize = size
+			}
+			fcap := wire.LineRatePPS(wire.Speed10G, fsize+proto.FCSLen) / 1e6
+			if f.RateMpps > fcap {
+				return d.errAt(anchor(d.flowsLine),
+					"flows: flow %q rate %g Mpps exceeds the 10GbE line rate (%.2f Mpps at %d-byte frames)",
+					f.Name, f.RateMpps, fcap, fsize+proto.FCSLen)
+			}
+		}
+	}
+
+	// Flow-tracked scenarios state their model per global slot index
+	// with shard i of k owning slots j ≡ i (mod k); the partition is
+	// only flow-preserving when cores divides the flow population.
+	// Catching it here anchors the error to the spec line instead of
+	// failing later inside the run.
+	if s.Cores > 1 {
+		switch d.Scenario {
+		case "loss-overload", "reorder":
+			n := len(s.EffectiveFlows())
+			if n%s.Cores != 0 {
+				return d.errAt(anchor(d.coresLine),
+					"cores: %d does not divide the flow count (%d) for scenario %q — every flow must live wholly in one shard", s.Cores, n, d.Scenario)
+			}
+		case "churn":
+			w := s.ChurnFlows
+			if w <= 0 {
+				w = 1024
+			}
+			if w%s.Cores != 0 {
+				return d.errAt(anchor(d.coresLine),
+					"cores: %d does not divide the churn working set (%d) — every flow must live wholly in one shard", s.Cores, w)
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, f := range s.Flows {
+		if seen[f.Name] {
+			return d.errAt(anchor(d.flowsLine), "flows: duplicate flow name %q (reports merge per-flow stats by name)", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// flowsCarryRate reports whether every declared flow has its own rate,
+// which satisfies rate-requiring patterns without an aggregate rate
+// (the qos shape: per-flow hardware shaping).
+func flowsCarryRate(s scenario.Spec) bool {
+	if len(s.Flows) == 0 {
+		return false
+	}
+	for _, f := range s.Flows {
+		if f.RateMpps <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func isJSON(src []byte, name string) bool {
+	if strings.HasSuffix(name, ".json") {
+		return true
+	}
+	for _, b := range src {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func (d *Document) errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", d.File, line, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------
+// Schema walk
+// ---------------------------------------------------------------------
+
+var topKeys = []string{"version", "scenario", "description", "seed", "runtime", "cores", "batch", "load", "flows", "churn", "probes", "topology", "telemetry"}
+var loadKeys = []string{"pattern", "rate", "size", "burst", "steps", "mix"}
+var mixKeys = []string{"size", "weight"}
+var flowKeys = []string{"name", "l4", "src_ip", "src_ip_count", "dst_ip", "src_port", "dst_port", "tos", "rate", "size"}
+var churnKeys = []string{"flows", "life"}
+var probesKeys = []string{"latency", "samples"}
+var topologyKeys = []string{"dut"}
+var telemetryKeys = []string{"interval", "diag"}
+
+func (d *Document) walk(root *node) error {
+	if root.kind != mapNode {
+		return d.errAt(root.line, "the document root must be a mapping (\"key: value\" lines), got a %s", root.kindName())
+	}
+	if err := d.checkKeys(root, topKeys, ""); err != nil {
+		return err
+	}
+
+	vn, line, ok := root.get("version")
+	if !ok {
+		return d.errAt(1, "missing required key \"version\" (this build reads version %d)", Version)
+	}
+	v, err := d.intField(vn, line, "version", 1, math.MaxInt32)
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return d.errAt(line, "version: unsupported spec version %d (this build reads version %d); see docs/spec-reference.md for the compatibility policy", v, Version)
+	}
+
+	sn, line, ok := root.get("scenario")
+	if !ok {
+		return d.errAt(1, "missing required key \"scenario\" (one of: %s)", strings.Join(scenario.Names(), ", "))
+	}
+	d.Scenario, err = d.strField(sn, line, "scenario")
+	if err != nil {
+		return err
+	}
+	d.scenarioLine = line
+
+	if n, line, ok := root.get("description"); ok {
+		if d.Description, err = d.strField(n, line, "description"); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("seed"); ok {
+		v, err := d.intField(n, line, "seed", math.MinInt64, math.MaxInt64)
+		if err != nil {
+			return err
+		}
+		d.seed = &v
+	}
+	if n, line, ok := root.get("runtime"); ok {
+		v, err := d.durField(n, line, "runtime")
+		if err != nil {
+			return err
+		}
+		d.runtime, d.runtimeLine = &v, line
+	}
+	if n, line, ok := root.get("cores"); ok {
+		v, err := d.intField(n, line, "cores", 1, 1024)
+		if err != nil {
+			return err
+		}
+		c := int(v)
+		d.cores, d.coresLine = &c, line
+	}
+	if n, line, ok := root.get("batch"); ok {
+		v, err := d.intField(n, line, "batch", 1, 512)
+		if err != nil {
+			return err
+		}
+		b := int(v)
+		d.batch = &b
+	}
+	if n, line, ok := root.get("load"); ok {
+		if err := d.walkLoad(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("flows"); ok {
+		if err := d.walkFlows(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("churn"); ok {
+		if err := d.walkChurn(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("probes"); ok {
+		if err := d.walkProbes(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("topology"); ok {
+		if err := d.walkTopology(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("telemetry"); ok {
+		if err := d.walkTelemetry(n, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Document) walkLoad(n *node, line int) error {
+	if n.kind != mapNode {
+		return d.errAt(line, "load: expected a mapping, got a %s", n.kindName())
+	}
+	if err := d.checkKeys(n, loadKeys, "load."); err != nil {
+		return err
+	}
+	if pn, pline, ok := n.get("pattern"); ok {
+		v, err := d.strField(pn, pline, "load.pattern")
+		if err != nil {
+			return err
+		}
+		p := scenario.Pattern(v)
+		switch p {
+		case scenario.PatternLineRate, scenario.PatternCBR, scenario.PatternSoftCBR, scenario.PatternPoisson, scenario.PatternBursts:
+		default:
+			return d.errAt(pline, "load.pattern: unknown pattern %q (one of: linerate, cbr, softcbr, poisson, bursts)", v)
+		}
+		d.pattern, d.patternLine = &p, pline
+	}
+	if rn, rline, ok := n.get("rate"); ok {
+		v, err := d.rateField(rn, rline, "load.rate")
+		if err != nil {
+			return err
+		}
+		d.rate, d.rateLine = &v, rline
+	}
+	if sn, sline, ok := n.get("size"); ok {
+		v, err := d.frameSize(sn, sline, "load.size")
+		if err != nil {
+			return err
+		}
+		d.size, d.sizeLine = &v, sline
+	}
+	if bn, bline, ok := n.get("burst"); ok {
+		v, err := d.intField(bn, bline, "load.burst", 1, 4096)
+		if err != nil {
+			return err
+		}
+		b := int(v)
+		d.burst = &b
+	}
+	if sn, sline, ok := n.get("steps"); ok {
+		v, err := d.intField(sn, sline, "load.steps", 1, 1024)
+		if err != nil {
+			return err
+		}
+		s := int(v)
+		d.steps = &s
+	}
+	if mn, mline, ok := n.get("mix"); ok {
+		if mn.kind != listNode {
+			return d.errAt(mline, "load.mix: expected a list of {size, weight} entries, got a %s", mn.kindName())
+		}
+		mix := make([]scenario.SizeShare, 0, len(mn.items))
+		for _, item := range mn.items {
+			if item.kind != mapNode {
+				return d.errAt(item.line, "load.mix: each entry must be a {size, weight} mapping, got a %s", item.kindName())
+			}
+			if err := d.checkKeys(item, mixKeys, "load.mix."); err != nil {
+				return err
+			}
+			sn, sline, ok := item.get("size")
+			if !ok {
+				return d.errAt(item.line, "load.mix: entry is missing \"size\"")
+			}
+			size, err := d.frameSize(sn, sline, "load.mix.size")
+			if err != nil {
+				return err
+			}
+			wn, wline, ok := item.get("weight")
+			if !ok {
+				return d.errAt(item.line, "load.mix: entry is missing \"weight\"")
+			}
+			w, err := d.intField(wn, wline, "load.mix.weight", 1, math.MaxInt32)
+			if err != nil {
+				return err
+			}
+			mix = append(mix, scenario.SizeShare{Size: size, Weight: int(w)})
+		}
+		if len(mix) == 0 {
+			return d.errAt(mline, "load.mix: the mix cannot be empty")
+		}
+		d.mix = mix
+	}
+	return nil
+}
+
+func (d *Document) walkFlows(n *node, line int) error {
+	if n.kind != listNode {
+		return d.errAt(line, "flows: expected a list of flow mappings, got a %s", n.kindName())
+	}
+	d.flowsLine = line
+	d.hasFlows = true
+	d.flows = make([]scenario.Flow, 0, len(n.items))
+	for i, item := range n.items {
+		if item.kind != mapNode {
+			return d.errAt(item.line, "flows: each entry must be a mapping, got a %s", item.kindName())
+		}
+		if err := d.checkKeys(item, flowKeys, "flows."); err != nil {
+			return err
+		}
+		f := scenario.Flow{L4: "udp"}
+		if nn, nline, ok := item.get("name"); ok {
+			v, err := d.strField(nn, nline, "flows.name")
+			if err != nil {
+				return err
+			}
+			f.Name = v
+		} else {
+			f.Name = fmt.Sprintf("f%d", i)
+		}
+		if ln, lline, ok := item.get("l4"); ok {
+			v, err := d.strField(ln, lline, "flows.l4")
+			if err != nil {
+				return err
+			}
+			if v != "udp" && v != "tcp" {
+				return d.errAt(lline, "flows.l4: unknown transport %q (one of: udp, tcp)", v)
+			}
+			f.L4 = v
+		}
+		sn, sline, ok := item.get("src_ip")
+		if !ok {
+			return d.errAt(item.line, "flows: flow %q is missing \"src_ip\"", f.Name)
+		}
+		ip, err := d.ipField(sn, sline, "flows.src_ip")
+		if err != nil {
+			return err
+		}
+		f.SrcIP = ip
+		if cn, cline, ok := item.get("src_ip_count"); ok {
+			v, err := d.intField(cn, cline, "flows.src_ip_count", 1, 1<<24)
+			if err != nil {
+				return err
+			}
+			f.SrcIPCount = int(v)
+		}
+		dn, dline, ok := item.get("dst_ip")
+		if !ok {
+			return d.errAt(item.line, "flows: flow %q is missing \"dst_ip\"", f.Name)
+		}
+		ip, err = d.ipField(dn, dline, "flows.dst_ip")
+		if err != nil {
+			return err
+		}
+		f.DstIP = ip
+		if pn, pline, ok := item.get("src_port"); ok {
+			v, err := d.intField(pn, pline, "flows.src_port", 0, 65535)
+			if err != nil {
+				return err
+			}
+			f.SrcPort = uint16(v)
+		}
+		if pn, pline, ok := item.get("dst_port"); ok {
+			v, err := d.intField(pn, pline, "flows.dst_port", 0, 65535)
+			if err != nil {
+				return err
+			}
+			f.DstPort = uint16(v)
+		}
+		if tn, tline, ok := item.get("tos"); ok {
+			v, err := d.intField(tn, tline, "flows.tos", 0, 255)
+			if err != nil {
+				return err
+			}
+			f.TOS = uint8(v)
+		}
+		if rn, rline, ok := item.get("rate"); ok {
+			v, err := d.rateField(rn, rline, "flows.rate")
+			if err != nil {
+				return err
+			}
+			f.RateMpps = v
+		}
+		if zn, zline, ok := item.get("size"); ok {
+			v, err := d.frameSize(zn, zline, "flows.size")
+			if err != nil {
+				return err
+			}
+			f.PktSize = v
+		}
+		d.flows = append(d.flows, f)
+	}
+	return nil
+}
+
+func (d *Document) walkChurn(n *node, line int) error {
+	if n.kind != mapNode {
+		return d.errAt(line, "churn: expected a mapping, got a %s", n.kindName())
+	}
+	if err := d.checkKeys(n, churnKeys, "churn."); err != nil {
+		return err
+	}
+	if fn, fline, ok := n.get("flows"); ok {
+		v, err := d.intField(fn, fline, "churn.flows", 1, 1<<28)
+		if err != nil {
+			return err
+		}
+		w := int(v)
+		d.churnFlows, d.churnFlowsLine = &w, fline
+	}
+	if ln, lline, ok := n.get("life"); ok {
+		v, err := d.intField(ln, lline, "churn.life", 1, math.MaxInt32)
+		if err != nil {
+			return err
+		}
+		l := int(v)
+		d.churnLife = &l
+	}
+	return nil
+}
+
+func (d *Document) walkProbes(n *node, line int) error {
+	if n.kind != mapNode {
+		return d.errAt(line, "probes: expected a mapping, got a %s", n.kindName())
+	}
+	if err := d.checkKeys(n, probesKeys, "probes."); err != nil {
+		return err
+	}
+	if ln, lline, ok := n.get("latency"); ok {
+		v, err := d.intField(ln, lline, "probes.latency", 0, math.MaxInt32)
+		if err != nil {
+			return err
+		}
+		p := int(v)
+		d.probes = &p
+	}
+	if sn, sline, ok := n.get("samples"); ok {
+		v, err := d.intField(sn, sline, "probes.samples", 0, math.MaxInt32)
+		if err != nil {
+			return err
+		}
+		s := int(v)
+		d.samples = &s
+	}
+	return nil
+}
+
+func (d *Document) walkTopology(n *node, line int) error {
+	if n.kind != mapNode {
+		return d.errAt(line, "topology: expected a mapping, got a %s", n.kindName())
+	}
+	if err := d.checkKeys(n, topologyKeys, "topology."); err != nil {
+		return err
+	}
+	if dn, dline, ok := n.get("dut"); ok {
+		v, err := d.boolField(dn, dline, "topology.dut")
+		if err != nil {
+			return err
+		}
+		d.dut = &v
+	}
+	return nil
+}
+
+func (d *Document) walkTelemetry(n *node, line int) error {
+	if n.kind != mapNode {
+		return d.errAt(line, "telemetry: expected a mapping, got a %s", n.kindName())
+	}
+	if err := d.checkKeys(n, telemetryKeys, "telemetry."); err != nil {
+		return err
+	}
+	if in, iline, ok := n.get("interval"); ok {
+		v, err := d.durField(in, iline, "telemetry.interval")
+		if err != nil {
+			return err
+		}
+		d.telemetryInterval = &v
+	}
+	if dn, dline, ok := n.get("diag"); ok {
+		v, err := d.boolField(dn, dline, "telemetry.diag")
+		if err != nil {
+			return err
+		}
+		d.telemetryDiag = &v
+	}
+	return nil
+}
+
+// checkKeys rejects keys outside the allowed set, with a "did you
+// mean" suggestion when a known key is within edit distance 2. The
+// schema is fail-closed on purpose: a typoed key that silently
+// defaulted would corrupt an experiment without a trace.
+func (d *Document) checkKeys(n *node, allowed []string, prefix string) error {
+	for i, k := range n.keys {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			continue
+		}
+		msg := fmt.Sprintf("unknown key %q", prefix+k)
+		if s := suggest(k, allowed); s != "" {
+			msg += fmt.Sprintf(" (did you mean %q?)", prefix+s)
+		} else {
+			sort.Strings(allowed)
+			msg += fmt.Sprintf(" (valid keys: %s)", strings.Join(allowed, ", "))
+		}
+		return d.errAt(n.keyLines[i], "%s", msg)
+	}
+	return nil
+}
+
+// suggest returns the closest allowed key within edit distance 2.
+func suggest(key string, allowed []string) string {
+	best, bestDist := "", 3
+	for _, a := range allowed {
+		if dist := editDistance(key, a); dist < bestDist {
+			best, bestDist = a, dist
+		}
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// ---------------------------------------------------------------------
+// Scalar field readers
+// ---------------------------------------------------------------------
+
+func (d *Document) scalar(n *node, line int, field string) (string, error) {
+	if n.kind != scalarNode {
+		return "", d.errAt(line, "%s: expected a scalar value, got a %s", field, n.kindName())
+	}
+	return n.val, nil
+}
+
+func (d *Document) strField(n *node, line int, field string) (string, error) {
+	v, err := d.scalar(n, line, field)
+	if err != nil {
+		return "", err
+	}
+	if v == "" {
+		return "", d.errAt(line, "%s: value is empty", field)
+	}
+	return v, nil
+}
+
+func (d *Document) intField(n *node, line int, field string, lo, hi int64) (int64, error) {
+	raw, err := d.scalar(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	// Base 0 accepts 0x-prefixed hex, which reads naturally for TOS
+	// and DSCP bytes ("tos: 0xb8").
+	v, err := strconv.ParseInt(raw, 0, 64)
+	if err != nil {
+		return 0, d.errAt(line, "%s: %q is not an integer", field, raw)
+	}
+	if v < lo || v > hi {
+		return 0, d.errAt(line, "%s: %d is out of range [%d, %d]", field, v, lo, hi)
+	}
+	return v, nil
+}
+
+func (d *Document) boolField(n *node, line int, field string) (bool, error) {
+	raw, err := d.scalar(n, line, field)
+	if err != nil {
+		return false, err
+	}
+	switch raw {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, d.errAt(line, "%s: %q is not a boolean (true or false)", field, raw)
+}
+
+// frameSize reads a frame size in bytes without FCS, bounded to what
+// the modeled 10GbE MAC accepts.
+func (d *Document) frameSize(n *node, line int, field string) (int, error) {
+	v, err := d.intField(n, line, field, 60, 1514)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// durField reads a duration scalar with an explicit unit: "50ms",
+// "2s", "100us", "500ns". A bare number is rejected — durations
+// without units have caused enough outages elsewhere.
+func (d *Document) durField(n *node, line int, field string) (sim.Duration, error) {
+	raw, err := d.scalar(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	num, unit := splitUnit(raw)
+	var scale sim.Duration
+	switch unit {
+	case "ns":
+		scale = sim.Nanosecond
+	case "us", "µs":
+		scale = sim.Microsecond
+	case "ms":
+		scale = sim.Millisecond
+	case "s":
+		scale = sim.Second
+	case "":
+		return 0, d.errAt(line, "%s: %q is missing a unit — write e.g. \"50ms\" (units: ns, us, ms, s)", field, raw)
+	default:
+		return 0, d.errAt(line, "%s: unknown unit %q in %q (units: ns, us, ms, s)", field, unit, raw)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || num == "" {
+		return 0, d.errAt(line, "%s: %q is not a duration — write e.g. \"50ms\"", field, raw)
+	}
+	dur := sim.Duration(math.Round(v * float64(scale)))
+	if dur <= 0 {
+		return 0, d.errAt(line, "%s: duration must be positive, got %q", field, raw)
+	}
+	return dur, nil
+}
+
+// rateField reads a packet rate in Mpps: "2mpps", "500kpps",
+// "14880952pps", or the word "line" for unshaped line rate.
+func (d *Document) rateField(n *node, line int, field string) (float64, error) {
+	raw, err := d.scalar(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	if raw == "line" {
+		return 0, nil
+	}
+	num, unit := splitUnit(raw)
+	var scale float64
+	switch unit {
+	case "mpps":
+		scale = 1
+	case "kpps":
+		scale = 1e-3
+	case "pps":
+		scale = 1e-6
+	case "":
+		return 0, d.errAt(line, "%s: %q is missing a unit — write e.g. \"2mpps\" (units: pps, kpps, mpps) or \"line\"", field, raw)
+	default:
+		return 0, d.errAt(line, "%s: unknown unit %q in %q (units: pps, kpps, mpps; or \"line\")", field, unit, raw)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || num == "" {
+		return 0, d.errAt(line, "%s: %q is not a rate — write e.g. \"2mpps\"", field, raw)
+	}
+	if v <= 0 {
+		return 0, d.errAt(line, "%s: rate must be positive, got %q", field, raw)
+	}
+	return v * scale, nil
+}
+
+func (d *Document) ipField(n *node, line int, field string) (proto.IPv4, error) {
+	raw, err := d.strField(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	ip, err := proto.ParseIPv4(raw)
+	if err != nil {
+		return 0, d.errAt(line, "%s: %v", field, err)
+	}
+	return ip, nil
+}
+
+// splitUnit splits "12.5ms" into ("12.5", "ms"). The unit is the
+// trailing run of letters (lowercased); the number is everything
+// before it.
+func splitUnit(raw string) (num, unit string) {
+	raw = strings.TrimSpace(raw)
+	i := len(raw)
+	for i > 0 {
+		c := raw[i-1]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == 'µ' {
+			i--
+			continue
+		}
+		break
+	}
+	// Multi-byte µ: back up to the rune start if we landed mid-rune.
+	for i > 0 && i < len(raw) && raw[i]&0xC0 == 0x80 {
+		i--
+	}
+	return strings.TrimSpace(raw[:i]), strings.ToLower(raw[i:])
+}

@@ -1,0 +1,318 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func TestCompileOverlaysDefaults(t *testing.T) {
+	src := `version: 1
+scenario: softcbr
+seed: 7
+runtime: 5ms
+cores: 2
+batch: 1
+load:
+  rate: 2mpps
+  size: 124
+telemetry:
+  interval: 1ms
+`
+	d, err := Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	name, s, err := d.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if name != "softcbr" {
+		t.Fatalf("name = %q", name)
+	}
+	if s.Pattern != scenario.PatternSoftCBR {
+		t.Fatalf("pattern %q did not come from DefaultSpec", s.Pattern)
+	}
+	if s.RateMpps != 2 || s.PktSize != 124 || s.Seed != 7 || s.Cores != 2 || s.Batch != 1 {
+		t.Fatalf("overlay lost: %+v", s)
+	}
+	if s.Runtime != 5*sim.Millisecond || s.TelemetryInterval != sim.Millisecond {
+		t.Fatalf("durations: runtime=%v interval=%v", s.Runtime, s.TelemetryInterval)
+	}
+}
+
+func TestCompileFlowsAndChurn(t *testing.T) {
+	src := `version: 1
+scenario: churn
+churn:
+  flows: 512
+  life: 8
+`
+	d, err := Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, s, err := d.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s.ChurnFlows != 512 || s.ChurnLife != 8 {
+		t.Fatalf("churn overlay: %+v", s)
+	}
+	if s.RateMpps != 10 {
+		t.Fatalf("churn default rate lost: %v", s.RateMpps)
+	}
+
+	src = `version: 1
+scenario: qos
+flows:
+  - name: fg
+    src_ip: 10.0.0.1
+    src_ip_count: 255
+    dst_ip: 192.168.1.1
+    src_port: 1234
+    dst_port: 43
+    tos: 0xb8
+    rate: 0.1mpps
+  - name: bg
+    src_ip: 10.0.0.1
+    dst_ip: 192.168.1.1
+    dst_port: 42
+    rate: 800kpps
+`
+	d, err = Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, s, err = d.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(s.Flows) != 2 {
+		t.Fatalf("flows = %d", len(s.Flows))
+	}
+	fg := s.Flows[0]
+	if fg.TOS != 0xb8 || fg.SrcIPCount != 255 || fg.RateMpps != 0.1 || fg.DstPort != 43 {
+		t.Fatalf("fg = %+v", fg)
+	}
+	if fg.SrcIP != proto.MustIPv4("10.0.0.1") || fg.DstIP != proto.MustIPv4("192.168.1.1") {
+		t.Fatalf("fg addrs = %+v", fg)
+	}
+	if bg := s.Flows[1]; bg.RateMpps != 0.8 || bg.L4 != "udp" {
+		t.Fatalf("bg = %+v", bg)
+	}
+}
+
+func TestCompileJSON(t *testing.T) {
+	src := `{
+  "version": 1,
+  "scenario": "softcbr",
+  "load": {"rate": "2mpps"},
+  "runtime": "5ms"
+}`
+	d, err := Parse([]byte(src), "t.json")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, s, err := d.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s.RateMpps != 2 || s.Runtime != 5*sim.Millisecond {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+// TestValidateNegative pins the actionable, line-anchored messages the
+// loader emits for the canonical authoring mistakes.
+func TestValidateNegative(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // every fragment must appear in the error
+	}{
+		{
+			"unknown top-level key",
+			"version: 1\nscenario: softcbr\nscenari: x\n",
+			[]string{"t.yaml:3:", `unknown key "scenari"`, `did you mean "scenario"`},
+		},
+		{
+			"unknown nested key",
+			"version: 1\nscenario: softcbr\nload:\n  rat: 2mpps\n",
+			[]string{"t.yaml:4:", `unknown key "load.rat"`, `did you mean "load.rate"`},
+		},
+		{
+			"unknown flow key",
+			"version: 1\nscenario: softcbr\nflows:\n  - name: a\n    src_ip: 10.0.0.1\n    dst_ip: 10.1.0.1\n    dscp: 4\n",
+			[]string{"t.yaml:7:", `unknown key "flows.dscp"`},
+		},
+		{
+			"missing version",
+			"scenario: softcbr\n",
+			[]string{"t.yaml:1:", `missing required key "version"`},
+		},
+		{
+			"future version",
+			"version: 2\nscenario: softcbr\n",
+			[]string{"t.yaml:1:", "unsupported spec version 2", "version 1"},
+		},
+		{
+			"unknown scenario",
+			"version: 1\nscenario: warp-drive\n",
+			[]string{"t.yaml:2:", `unknown scenario "warp-drive"`, "softcbr"},
+		},
+		{
+			"bad duration unit",
+			"version: 1\nscenario: softcbr\nruntime: 50 lightyears\n",
+			[]string{"t.yaml:3:", `unknown unit "lightyears"`, "ns, us, ms, s"},
+		},
+		{
+			"missing duration unit",
+			"version: 1\nscenario: softcbr\nruntime: 50\n",
+			[]string{"t.yaml:3:", "missing a unit", `"50ms"`},
+		},
+		{
+			"bad rate unit",
+			"version: 1\nscenario: softcbr\nload:\n  rate: 2gbps\n",
+			[]string{"t.yaml:4:", `unknown unit "gbps"`, "pps, kpps, mpps"},
+		},
+		{
+			"missing rate unit",
+			"version: 1\nscenario: softcbr\nload:\n  rate: 2\n",
+			[]string{"t.yaml:4:", "missing a unit", `"2mpps"`},
+		},
+		{
+			"uneven flow sharding",
+			"version: 1\nscenario: loss-overload\ncores: 3\n",
+			[]string{"t.yaml:3:", "cores: 3 does not divide the flow count (4)", "loss-overload"},
+		},
+		{
+			"uneven churn sharding",
+			"version: 1\nscenario: churn\ncores: 3\nchurn:\n  flows: 1024\n",
+			[]string{"t.yaml:3:", "does not divide the churn working set (1024)"},
+		},
+		{
+			"cbr rate over link capacity",
+			"version: 1\nscenario: cbr\nload:\n  rate: 20mpps\n",
+			[]string{"t.yaml:4:", "exceeds the 10GbE line rate", "14.88 Mpps", "softcbr"},
+		},
+		{
+			"flow rate over link capacity",
+			"version: 1\nscenario: cbr\nload:\n  rate: 1mpps\nflows:\n  - name: hot\n    src_ip: 10.0.0.1\n    dst_ip: 10.1.0.1\n    rate: 16mpps\n",
+			[]string{`flow "hot" rate 16 Mpps exceeds`},
+		},
+		{
+			"single-core-only scenario sharded",
+			"version: 1\nscenario: imix\ncores: 2\n",
+			[]string{"t.yaml:3:", `"imix" is single-core only`},
+		},
+		{
+			"pattern needs a rate",
+			"version: 1\nscenario: flood\nload:\n  pattern: poisson\n",
+			[]string{"t.yaml:4:", `pattern "poisson" needs a rate`},
+		},
+		{
+			"unknown pattern",
+			"version: 1\nscenario: flood\nload:\n  pattern: fractal\n",
+			[]string{"t.yaml:4:", `unknown pattern "fractal"`},
+		},
+		{
+			"bad ip",
+			"version: 1\nscenario: softcbr\nflows:\n  - name: a\n    src_ip: 10.0.0.999\n    dst_ip: 10.1.0.1\n",
+			[]string{"t.yaml:5:", "flows.src_ip"},
+		},
+		{
+			"port out of range",
+			"version: 1\nscenario: softcbr\nflows:\n  - name: a\n    src_ip: 10.0.0.1\n    dst_ip: 10.1.0.1\n    dst_port: 70000\n",
+			[]string{"t.yaml:7:", "out of range [0, 65535]"},
+		},
+		{
+			"frame size too small",
+			"version: 1\nscenario: softcbr\nload:\n  size: 40\n",
+			[]string{"t.yaml:4:", "out of range [60, 1514]"},
+		},
+		{
+			"duplicate flow names",
+			"version: 1\nscenario: softcbr\nflows:\n  - name: a\n    src_ip: 10.0.0.1\n    dst_ip: 10.1.0.1\n  - name: a\n    src_ip: 10.0.0.2\n    dst_ip: 10.1.0.1\n",
+			[]string{"duplicate flow name \"a\""},
+		},
+		{
+			"flow missing src_ip",
+			"version: 1\nscenario: softcbr\nflows:\n  - name: a\n    dst_ip: 10.1.0.1\n",
+			[]string{`flow "a" is missing "src_ip"`},
+		},
+		{
+			"negative runtime",
+			"version: 1\nscenario: softcbr\nruntime: -5ms\n",
+			[]string{"t.yaml:3:", "must be positive"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate([]byte(tc.src), "t.yaml")
+			if err == nil {
+				t.Fatalf("spec validated but should not have:\n%s", tc.src)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q\nmissing fragment %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsRateCarriedByFlows(t *testing.T) {
+	// The qos shape: no aggregate rate, but every flow shaped.
+	src := `version: 1
+scenario: qos
+load:
+  pattern: cbr
+flows:
+  - name: fg
+    src_ip: 10.0.0.1
+    dst_ip: 192.168.1.1
+    rate: 0.1mpps
+  - name: bg
+    src_ip: 10.0.0.1
+    dst_ip: 192.168.1.1
+    rate: 0.8mpps
+`
+	if err := Validate([]byte(src), "t.yaml"); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRateLineKeyword(t *testing.T) {
+	src := "version: 1\nscenario: flood\nload:\n  rate: line\n"
+	d, err := Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, s, err := d.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s.RateMpps != 0 {
+		t.Fatalf("rate 'line' should compile to 0 (unshaped), got %v", s.RateMpps)
+	}
+}
+
+func TestSplitUnit(t *testing.T) {
+	cases := []struct{ in, num, unit string }{
+		{"50ms", "50", "ms"},
+		{"12.5µs", "12.5", "µs"},
+		{"2mpps", "2", "mpps"},
+		{"line", "", "line"},
+		{"42", "42", ""},
+	}
+	for _, tc := range cases {
+		num, unit := splitUnit(tc.in)
+		if num != tc.num || unit != tc.unit {
+			t.Errorf("splitUnit(%q) = (%q, %q), want (%q, %q)", tc.in, num, unit, tc.num, tc.unit)
+		}
+	}
+}

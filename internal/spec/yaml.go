@@ -1,0 +1,474 @@
+// Package spec is the declarative scenario layer: a versioned YAML/JSON
+// document that `moongen run <file>` loads, validates with line-anchored
+// error messages, and compiles AT LOAD TIME into the existing zero-alloc
+// primitives (a registered scenario driven by a scenario.Spec — prefilled
+// proto.Template fill closures, GapTx/HWRateTx/FlowSink plumbing). No
+// interpretation survives into the run: after Compile the hot path is
+// exactly the compiled-Go path, so the determinism and batch-invariance
+// contracts hold for composed scenarios as for registered ones.
+//
+// This file is the YAML-subset reader. The repo vendors nothing, so the
+// subset is hand-parsed — which is also what makes every node carry its
+// source line for the error messages the schema layer emits. Supported:
+// nested maps by indentation, block lists ("- item"), inline maps
+// {k: v, ...} and lists [a, b], single- and double-quoted scalars,
+// comments and blank lines. Not supported (rejected with a pointed
+// error, never misparsed): tabs for indentation, anchors/aliases,
+// multi-document streams, block scalars (| and >).
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nodeKind discriminates the parse-tree node types.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+// node is one parse-tree vertex. Every node remembers the 1-based source
+// line it started on; schema errors anchor there.
+type node struct {
+	kind nodeKind
+	line int
+
+	// scalar
+	val    string
+	quoted bool // quoted scalars are always strings, never null/bool/number
+
+	// map: parallel key/value slices preserving declaration order.
+	keys     []string
+	keyLines []int
+	vals     []*node
+
+	// list
+	items []*node
+}
+
+func (n *node) kindName() string {
+	switch n.kind {
+	case mapNode:
+		return "mapping"
+	case listNode:
+		return "list"
+	default:
+		return "scalar"
+	}
+}
+
+// get returns the value node and line for a map key.
+func (n *node) get(key string) (*node, int, bool) {
+	for i, k := range n.keys {
+		if k == key {
+			return n.vals[i], n.keyLines[i], true
+		}
+	}
+	return nil, 0, false
+}
+
+// srcLine is one significant input line (blank lines and pure comments
+// are dropped before parsing).
+type srcLine struct {
+	num    int // 1-based line number in the file
+	indent int // leading spaces
+	text   string
+}
+
+// yamlParser consumes the significant lines top to bottom.
+type yamlParser struct {
+	file  string
+	lines []srcLine
+	pos   int
+}
+
+// parseYAML parses src into a node tree.
+func parseYAML(file string, src []byte) (*node, error) {
+	p := &yamlParser{file: file}
+	for i, raw := range strings.Split(string(src), "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			// Only reject tabs that matter: inside quotes they are data.
+			if idx := strings.IndexByte(raw, '\t'); idx < len(raw)-len(strings.TrimLeft(raw, " \t")) || !inQuotes(raw, idx) {
+				return nil, p.errAt(num, "tab character: indent with spaces only")
+			}
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		text := stripComment(strings.TrimRight(raw[indent:], " \r"))
+		text = strings.TrimRight(text, " ")
+		if text == "" || text == "---" {
+			continue
+		}
+		if strings.HasPrefix(text, "%") {
+			return nil, p.errAt(num, "YAML directives are not supported")
+		}
+		p.lines = append(p.lines, srcLine{num: num, indent: indent, text: text})
+	}
+	if len(p.lines) == 0 {
+		return nil, p.errAt(1, "empty document")
+	}
+	root, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, p.errAt(l.num, "unexpected content at indent %d (the document root is at indent %d)", l.indent, p.lines[0].indent)
+	}
+	return root, nil
+}
+
+// inQuotes reports whether byte index idx of raw sits inside a quoted
+// region — used only to allow literal tabs in quoted strings.
+func inQuotes(raw string, idx int) bool {
+	inS, inD := false, false
+	for i := 0; i < idx && i < len(raw); i++ {
+		switch raw[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\\':
+			if inD {
+				i++
+			}
+		}
+	}
+	return inS || inD
+}
+
+// stripComment removes a trailing "#..." comment, respecting quotes.
+func stripComment(text string) string {
+	inS, inD := false, false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\\':
+			if inD {
+				i++
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || text[i-1] == ' ') {
+				return strings.TrimRight(text[:i], " ")
+			}
+		}
+	}
+	return text
+}
+
+func (p *yamlParser) errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, line, fmt.Sprintf(format, args...))
+}
+
+// parseBlock parses the run of lines at exactly the given indent into a
+// map, list, or (single-line) scalar node.
+func (p *yamlParser) parseBlock(indent int) (*node, error) {
+	l := p.lines[p.pos]
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseList(indent)
+	}
+	if keyOf(l.text) != "" {
+		return p.parseMap(indent)
+	}
+	// A lone scalar document/value.
+	p.pos++
+	return parseInlineValue(p.file, l.num, l.text)
+}
+
+// parseMap parses consecutive "key: value" lines at the given indent.
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	first := p.lines[p.pos]
+	m := &node{kind: mapNode, line: first.num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, p.errAt(l.num, "unexpected indent %d (this mapping is at indent %d)", l.indent, indent)
+			}
+			break
+		}
+		key := keyOf(l.text)
+		if key == "" {
+			return nil, p.errAt(l.num, "expected \"key: value\", got %q", l.text)
+		}
+		for _, k := range m.keys {
+			if k == key {
+				return nil, p.errAt(l.num, "duplicate key %q", key)
+			}
+		}
+		rest := strings.TrimLeft(l.text[len(key)+1:], " ")
+		key = dequoteKey(key)
+		p.pos++
+		var (
+			val *node
+			err error
+		)
+		if rest != "" {
+			val, err = parseInlineValue(p.file, l.num, rest)
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			val, err = p.parseBlock(p.lines[p.pos].indent)
+		} else {
+			val = &node{kind: scalarNode, line: l.num, val: ""}
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.keys = append(m.keys, key)
+		m.keyLines = append(m.keyLines, l.num)
+		m.vals = append(m.vals, val)
+	}
+	return m, nil
+}
+
+// parseList parses consecutive "- item" lines at the given indent.
+func (p *yamlParser) parseList(indent int) (*node, error) {
+	first := p.lines[p.pos]
+	lst := &node{kind: listNode, line: first.num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent > indent {
+				return nil, p.errAt(l.num, "unexpected indent %d (this list is at indent %d)", l.indent, indent)
+			}
+			break
+		}
+		if l.text == "-" {
+			// Item body is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				lst.items = append(lst.items, &node{kind: scalarNode, line: l.num, val: ""})
+				continue
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			lst.items = append(lst.items, item)
+			continue
+		}
+		content := l.text[2:]
+		// "- key: value" starts a map whose first entry shares the dash
+		// line: rewrite the line as if it were indented past the dash and
+		// re-parse, so the following deeper lines join the same item.
+		if keyOf(content) != "" {
+			itemIndent := l.indent + 2
+			p.lines[p.pos] = srcLine{num: l.num, indent: itemIndent, text: content}
+			item, err := p.parseMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			lst.items = append(lst.items, item)
+			continue
+		}
+		p.pos++
+		item, err := parseInlineValue(p.file, l.num, content)
+		if err != nil {
+			return nil, err
+		}
+		lst.items = append(lst.items, item)
+	}
+	return lst, nil
+}
+
+// keyOf returns the "key" of a "key: value" line (empty if the line is
+// not a mapping entry). The colon must be outside quotes and followed by
+// a space or end of line.
+func keyOf(text string) string {
+	inS, inD := false, false
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\\':
+			if inD {
+				i++
+			}
+		case '{', '[':
+			if !inS && !inD {
+				depth++
+			}
+		case '}', ']':
+			if !inS && !inD {
+				depth--
+			}
+		case ':':
+			if !inS && !inD && depth == 0 && (i+1 == len(text) || text[i+1] == ' ') {
+				if i == 0 {
+					return ""
+				}
+				return text[:i]
+			}
+		}
+	}
+	return ""
+}
+
+// dequoteKey strips quotes from a quoted map key.
+func dequoteKey(key string) string {
+	key = strings.TrimSpace(key)
+	if len(key) >= 2 && (key[0] == '\'' || key[0] == '"') && key[len(key)-1] == key[0] {
+		return key[1 : len(key)-1]
+	}
+	return key
+}
+
+// parseInlineValue parses a value that fits on one line: a scalar, an
+// inline map {k: v, ...} or an inline list [a, b, ...].
+func parseInlineValue(file string, line int, text string) (*node, error) {
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, "{"):
+		if !strings.HasSuffix(text, "}") {
+			return nil, fmt.Errorf("%s:%d: inline mapping not closed: %q", file, line, text)
+		}
+		m := &node{kind: mapNode, line: line}
+		body := strings.TrimSpace(text[1 : len(text)-1])
+		if body == "" {
+			return m, nil
+		}
+		for _, part := range splitTop(body) {
+			part = strings.TrimSpace(part)
+			key := keyOf(part)
+			if key == "" {
+				return nil, fmt.Errorf("%s:%d: inline mapping entry %q is not \"key: value\"", file, line, part)
+			}
+			rest := strings.TrimLeft(part[len(key)+1:], " ")
+			val, err := parseInlineValue(file, line, rest)
+			if err != nil {
+				return nil, err
+			}
+			key = dequoteKey(key)
+			for _, k := range m.keys {
+				if k == key {
+					return nil, fmt.Errorf("%s:%d: duplicate key %q", file, line, key)
+				}
+			}
+			m.keys = append(m.keys, key)
+			m.keyLines = append(m.keyLines, line)
+			m.vals = append(m.vals, val)
+		}
+		return m, nil
+	case strings.HasPrefix(text, "["):
+		if !strings.HasSuffix(text, "]") {
+			return nil, fmt.Errorf("%s:%d: inline list not closed: %q", file, line, text)
+		}
+		lst := &node{kind: listNode, line: line}
+		body := strings.TrimSpace(text[1 : len(text)-1])
+		if body == "" {
+			return lst, nil
+		}
+		for _, part := range splitTop(body) {
+			item, err := parseInlineValue(file, line, strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			lst.items = append(lst.items, item)
+		}
+		return lst, nil
+	case strings.HasPrefix(text, "|") || strings.HasPrefix(text, ">"):
+		return nil, fmt.Errorf("%s:%d: block scalars (| and >) are not supported", file, line)
+	case strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*"):
+		return nil, fmt.Errorf("%s:%d: YAML anchors/aliases are not supported", file, line)
+	}
+	return parseScalar(file, line, text)
+}
+
+// splitTop splits on commas outside quotes, braces and brackets.
+func splitTop(body string) []string {
+	var out []string
+	inS, inD := false, false
+	depth := 0
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\\':
+			if inD {
+				i++
+			}
+		case '{', '[':
+			if !inS && !inD {
+				depth++
+			}
+		case '}', ']':
+			if !inS && !inD {
+				depth--
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+// parseScalar builds a scalar node, handling quotes and escapes.
+func parseScalar(file string, line int, text string) (*node, error) {
+	n := &node{kind: scalarNode, line: line}
+	switch {
+	case len(text) >= 2 && text[0] == '\'' && text[len(text)-1] == '\'':
+		n.val = strings.ReplaceAll(text[1:len(text)-1], "''", "'")
+		n.quoted = true
+	case len(text) >= 2 && text[0] == '"' && text[len(text)-1] == '"':
+		var b strings.Builder
+		body := text[1 : len(text)-1]
+		for i := 0; i < len(body); i++ {
+			if body[i] != '\\' {
+				b.WriteByte(body[i])
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return nil, fmt.Errorf("%s:%d: dangling escape in %q", file, line, text)
+			}
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(body[i])
+			default:
+				return nil, fmt.Errorf("%s:%d: unsupported escape \\%c in %q", file, line, body[i], text)
+			}
+		}
+		n.val = b.String()
+		n.quoted = true
+	case text == "~" || text == "null":
+		n.val = ""
+	default:
+		n.val = text
+	}
+	return n, nil
+}

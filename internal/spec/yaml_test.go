@@ -1,0 +1,164 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseYAML(t *testing.T, src string) *node {
+	t.Helper()
+	n, err := parseYAML("test.yaml", []byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	return n
+}
+
+func TestYAMLNestedMapsListsAndScalars(t *testing.T) {
+	root := mustParseYAML(t, `
+# a comment
+version: 1
+scenario: softcbr   # trailing comment
+load:
+  rate: 2mpps
+  mix:
+    - {size: 60, weight: 7}
+    - size: 590
+      weight: 4
+flows:
+  - name: fg
+    tos: 0xb8
+  - name: bg
+tags: [a, b, 'c d']
+empty:
+quoted: "a # not a comment"
+`)
+	if root.kind != mapNode {
+		t.Fatalf("root kind = %v", root.kind)
+	}
+	if got := len(root.keys); got != 7 {
+		t.Fatalf("top-level keys = %d (%v)", got, root.keys)
+	}
+	v, line, ok := root.get("version")
+	if !ok || v.val != "1" || line != 3 {
+		t.Fatalf("version = %q at line %d, ok=%v", v.val, line, ok)
+	}
+	sc, _, _ := root.get("scenario")
+	if sc.val != "softcbr" {
+		t.Fatalf("scenario = %q (trailing comment not stripped?)", sc.val)
+	}
+	load, _, _ := root.get("load")
+	if load.kind != mapNode {
+		t.Fatalf("load is %s", load.kindName())
+	}
+	mix, _, _ := load.get("mix")
+	if mix.kind != listNode || len(mix.items) != 2 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if s, _, _ := mix.items[0].get("size"); s.val != "60" {
+		t.Fatalf("inline mix size = %q", s.val)
+	}
+	if w, _, _ := mix.items[1].get("weight"); w.val != "4" {
+		t.Fatalf("dash-line map weight = %q", w.val)
+	}
+	flows, _, _ := root.get("flows")
+	if len(flows.items) != 2 {
+		t.Fatalf("flows = %d items", len(flows.items))
+	}
+	if name, nline, _ := flows.items[0].get("name"); name.val != "fg" || nline != 12 {
+		t.Fatalf("flow name = %q at %d", name.val, nline)
+	}
+	tags, _, _ := root.get("tags")
+	if len(tags.items) != 3 || tags.items[2].val != "c d" {
+		t.Fatalf("tags = %+v", tags)
+	}
+	empty, _, _ := root.get("empty")
+	if empty.kind != scalarNode || empty.val != "" {
+		t.Fatalf("empty = %+v", empty)
+	}
+	q, _, _ := root.get("quoted")
+	if q.val != "a # not a comment" || !q.quoted {
+		t.Fatalf("quoted = %q", q.val)
+	}
+}
+
+func TestYAMLLineNumbers(t *testing.T) {
+	root := mustParseYAML(t, "a: 1\n\n# gap\nb:\n  c: 2\n")
+	if _, line, _ := root.get("a"); line != 1 {
+		t.Fatalf("a at line %d", line)
+	}
+	b, line, _ := root.get("b")
+	if line != 4 {
+		t.Fatalf("b at line %d", line)
+	}
+	if c, cline, _ := b.get("c"); c.val != "2" || cline != 5 {
+		t.Fatalf("c = %q at line %d", c.val, cline)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "test.yaml:2: tab"},
+		{"duplicate key", "a: 1\na: 2\n", "test.yaml:2: duplicate key \"a\""},
+		{"bad indent", "a:\n  b: 1\n   c: 2\n", "test.yaml:3:"},
+		{"anchor", "a: &x 1\n", "anchors/aliases are not supported"},
+		{"block scalar", "a: |\n  text\n", "block scalars"},
+		{"unclosed inline map", "a: {b: 1\n", "not closed"},
+		{"empty doc", "# nothing\n", "empty document"},
+		{"not a map entry", "a:\n  - 1\njust words\n", "test.yaml:3:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML("test.yaml", []byte(tc.src))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestYAMLQuotedScalars(t *testing.T) {
+	root := mustParseYAML(t, `a: "x\ny"`+"\nb: 'it''s'\nc: \"tab\\there\"\n")
+	if a, _, _ := root.get("a"); a.val != "x\ny" {
+		t.Fatalf("a = %q", a.val)
+	}
+	if b, _, _ := root.get("b"); b.val != "it's" {
+		t.Fatalf("b = %q", b.val)
+	}
+	if c, _, _ := root.get("c"); c.val != "tab\there" {
+		t.Fatalf("c = %q", c.val)
+	}
+}
+
+func TestJSONParsing(t *testing.T) {
+	src := `{
+  "version": 1,
+  "scenario": "softcbr",
+  "load": {"rate": "2mpps"},
+  "flows": [{"name": "f0", "src_ip": "10.0.0.1", "dst_ip": "10.1.0.1"}]
+}`
+	root, err := parseJSON("test.json", []byte(src))
+	if err != nil {
+		t.Fatalf("parseJSON: %v", err)
+	}
+	if v, line, _ := root.get("version"); v.val != "1" || line != 2 {
+		t.Fatalf("version = %q at line %d", v.val, line)
+	}
+	load, line, _ := root.get("load")
+	if load.kind != mapNode || line != 4 {
+		t.Fatalf("load %s at line %d", load.kindName(), line)
+	}
+	flows, _, _ := root.get("flows")
+	if len(flows.items) != 1 {
+		t.Fatalf("flows = %+v", flows)
+	}
+
+	if _, err := parseJSON("test.json", []byte(`{"a": 1, "a": 2}`)); err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("duplicate JSON key not rejected: %v", err)
+	}
+}

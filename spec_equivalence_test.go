@@ -1,0 +1,147 @@
+// Spec-composition equivalence gate: a scenario composed from a
+// declarative spec file runs byte-identically to the registered
+// scenario it names — merged stats and model telemetry alike — across
+// Cores {1,2,4} × Batch {1,32}. This is the tentpole contract of the
+// spec layer: Compile happens at load time and hands the run to the
+// exact compiled-Go path, so the determinism and invariance contracts
+// hold for composed scenarios exactly as for compiled ones.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// specEquivalenceCases pairs each pinned example spec with the
+// hand-built registered-scenario spec it must match: DefaultSpec plus
+// exactly the overrides the file declares.
+var specEquivalenceCases = []struct {
+	name     string
+	specFile string
+	override func(s scenario.Spec) scenario.Spec
+}{
+	{
+		name:     "softcbr",
+		specFile: "examples/specs/softcbr-2mpps.yaml",
+		override: func(s scenario.Spec) scenario.Spec {
+			s.RateMpps = 2
+			return s
+		},
+	},
+	{
+		name:     "loss-overload",
+		specFile: "examples/specs/loss-overload.yaml",
+		override: func(s scenario.Spec) scenario.Spec {
+			s.RateMpps = 20
+			s.Flows = scenario.FlowSet(4)
+			return s
+		},
+	},
+	{
+		name:     "churn",
+		specFile: "examples/specs/churn-million-flows.yaml",
+		override: func(s scenario.Spec) scenario.Spec {
+			s.RateMpps = 10
+			s.ChurnFlows = 1024
+			s.ChurnLife = 4
+			return s
+		},
+	},
+}
+
+// runForEquivalence executes (name, sp) at the invariance test
+// configuration and returns the report fingerprint and the model
+// telemetry CSV.
+func runForEquivalence(t *testing.T, name string, sp scenario.Spec, cores, batch int) (string, string) {
+	t.Helper()
+	sp.Runtime = 5 * sim.Millisecond
+	sp.Seed = 5
+	sp.Cores = cores
+	sp.Batch = batch
+	sp.TelemetryInterval = sim.Millisecond
+	rep, err := scenario.Execute(name, sp, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil {
+		t.Fatalf("%s cores=%d batch=%d: no telemetry series", name, cores, batch)
+	}
+	var b strings.Builder
+	if err := rep.Telemetry.WriteCSV(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	return reportFingerprint(rep), b.String()
+}
+
+// reportFingerprint digests every model field of a report — counters,
+// rates, rows, per-flow slices, latency quartiles, notes — into a
+// comparable string.
+func reportFingerprint(r *scenario.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window=%d tx=%d/%d rx=%d/%d crc=%d missed=%d mpps=%.9g gbps=%.9g lostprobes=%d\n",
+		r.Window, r.TxPackets, r.TxBytes, r.RxPackets, r.RxBytes, r.RxCRCErrors, r.RxMissed,
+		r.RxMpps, r.RxGbpsWire, r.LostProbes)
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		q1, q2, q3 := r.Latency.Quartiles()
+		fmt.Fprintf(&b, "latency n=%d min=%v q=%v/%v/%v max=%v\n",
+			r.Latency.Count(), r.Latency.Min(), q1, q2, q3, r.Latency.Max())
+	}
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, "flow %s tx=%d rx=%d lost=%d reord=%d dup=%d",
+			f.Name, f.TxPackets, f.RxPackets, f.Lost, f.Reordered, f.Duplicates)
+		if f.Latency != nil && f.Latency.Count() > 0 {
+			q1, q2, q3 := f.Latency.Quartiles()
+			fmt.Fprintf(&b, " lat n=%d q=%v/%v/%v", f.Latency.Count(), q1, q2, q3)
+		}
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "row %s=%.9g %s\n", row.Label, row.Value, row.Unit)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note %s\n", n)
+	}
+	return b.String()
+}
+
+func TestSpecComposedEquivalence(t *testing.T) {
+	for _, tc := range specEquivalenceCases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc, err := spec.Load(tc.specFile)
+			if err != nil {
+				t.Fatalf("load %s: %v", tc.specFile, err)
+			}
+			name, composed, err := doc.Compile()
+			if err != nil {
+				t.Fatalf("compile %s: %v", tc.specFile, err)
+			}
+			if name != tc.name {
+				t.Fatalf("spec names scenario %q, want %q", name, tc.name)
+			}
+			sc, ok := scenario.Get(tc.name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", tc.name)
+			}
+			registered := tc.override(sc.DefaultSpec())
+
+			for _, cfg := range invarianceConfigs {
+				gotFP, gotCSV := runForEquivalence(t, name, composed, cfg.cores, cfg.batch)
+				wantFP, wantCSV := runForEquivalence(t, tc.name, registered, cfg.cores, cfg.batch)
+				if gotFP != wantFP {
+					t.Errorf("cores=%d batch=%d: spec-composed report differs from registered run\n want:\n%s\n got:\n%s",
+						cfg.cores, cfg.batch, wantFP, gotFP)
+				}
+				if gotCSV != wantCSV {
+					t.Errorf("cores=%d batch=%d: spec-composed telemetry differs from registered run\n want:\n%s\n got:\n%s",
+						cfg.cores, cfg.batch, wantCSV, gotCSV)
+				}
+			}
+		})
+	}
+}
