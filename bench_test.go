@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/mempool"
 	"repro/internal/nic"
@@ -604,6 +605,57 @@ func BenchmarkSpecCompiledLineRate(b *testing.B) {
 	}
 	b.StopTimer()
 	st := env.TX().GetStats()
+	b.ReportMetric(float64(st.TxPackets-warm)/float64(b.N), "sim-pkts/iter")
+	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
+		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())
+		b.ReportMetric(simNS/float64(wall), "sim/wall")
+	}
+}
+
+// BenchmarkFaultInjectorOverhead is the fault layer's "free when idle"
+// pin: BenchmarkSimulatedLineRate with an armed injector whose single
+// link-flap onset sits an hour of simulated time away, so it schedules
+// once at install and then never runs. An armed plan must cost the
+// datapath nothing — no per-packet checks, no allocations, no sim/wall
+// collapse — because faults act on the targets (wire, pump, clock)
+// only at their onset instants, never on the packet path.
+func BenchmarkFaultInjectorOverhead(b *testing.B) {
+	app, tx, _, pool := benchPair(24)
+	inj := fault.New(app.Eng, fault.Targets{Link: tx.Link()}, fault.Plan{
+		{Kind: fault.LinkFlap, At: sim.Duration(3600) * sim.Second, Duration: sim.Millisecond},
+	})
+	inj.Install(app.Eng.Now(), sim.Duration(7200)*sim.Second)
+	q := tx.GetTxQueue(0)
+	ba := pool.BufArray(63)
+	period := 63 * wire.FrameTime(wire.Speed10G, 64)
+	var feed func()
+	feed = func() {
+		for q.Free() >= ba.Len() {
+			n := pool.AllocBatch(ba.Bufs, 60)
+			sent := q.Send(ba.Bufs[:n])
+			for i := sent; i < n; i++ {
+				ba.Bufs[i].Free()
+			}
+			ba.Clear(n)
+			if sent < n {
+				break
+			}
+		}
+		app.Eng.ScheduleAfter(period, feed)
+	}
+	app.Eng.Schedule(app.Eng.Now(), feed)
+	app.Eng.Run(app.Eng.Now().Add(sim.Millisecond)) // warmup millisecond
+	warm := tx.GetStats().TxPackets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Eng.Run(app.Eng.Now().Add(sim.Millisecond))
+	}
+	b.StopTimer()
+	if inj.State() != fault.Armed || inj.Fired() != 0 {
+		b.Fatalf("injector left the armed state during the bench: %v fired=%d", inj.State(), inj.Fired())
+	}
+	st := tx.GetStats()
 	b.ReportMetric(float64(st.TxPackets-warm)/float64(b.N), "sim-pkts/iter")
 	if wall := b.Elapsed().Nanoseconds(); wall > 0 {
 		simNS := float64(b.N) * float64(sim.Millisecond.Nanoseconds())

@@ -56,7 +56,7 @@ type benchPass struct {
 var benchPasses = []benchPass{
 	{name: "figures", pkg: ".", benchRE: ".", benchtime: "1x"},
 	{name: "micro", pkg: ".",
-		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkSpecCompiledLineRate|BenchmarkTelemetryOverhead|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
+		benchRE:   "^(BenchmarkSimulatedLineRate|BenchmarkSpecCompiledLineRate|BenchmarkTelemetryOverhead|BenchmarkFaultInjectorOverhead|BenchmarkTxBurstSteadyState|BenchmarkRxBurstSteadyState|BenchmarkCRCGapScheduling)$",
 		benchtime: "100x", count: 3},
 	{name: "engine", pkg: "./internal/sim", benchRE: "^BenchmarkEngine", benchtime: "100x", count: 3},
 	{name: "flow", pkg: "./internal/flow", benchRE: "^BenchmarkFlowTracker", benchtime: "100x", count: 3},
@@ -174,19 +174,20 @@ func runGoBench(path, cpuProfile, memProfile string) error {
 // wheel's schedule/fire loop), and the figure-level scaling runs whose
 // allocation counts the zero-alloc sweep is accountable for.
 var gatedBenchmarks = map[string]bool{
-	"BenchmarkTable1PacketIO":       true,
-	"BenchmarkSimulatedLineRate":    true,
-	"BenchmarkSpecCompiledLineRate": true,
-	"BenchmarkTelemetryOverhead":    true,
-	"BenchmarkTxBurstSteadyState":   true,
-	"BenchmarkRxBurstSteadyState":   true,
-	"BenchmarkMulticoreScaling":     true,
-	"BenchmarkCRCGapScheduling":     true,
-	"BenchmarkEngineSchedule":       true,
-	"BenchmarkFig2MultiCoreScaling": true,
-	"BenchmarkFig4Scaling120G":      true,
-	"BenchmarkFlowTrackerMillion":   true,
-	"BenchmarkFlowTrackerChurn":     true,
+	"BenchmarkTable1PacketIO":        true,
+	"BenchmarkSimulatedLineRate":     true,
+	"BenchmarkSpecCompiledLineRate":  true,
+	"BenchmarkTelemetryOverhead":     true,
+	"BenchmarkFaultInjectorOverhead": true,
+	"BenchmarkTxBurstSteadyState":    true,
+	"BenchmarkRxBurstSteadyState":    true,
+	"BenchmarkMulticoreScaling":      true,
+	"BenchmarkCRCGapScheduling":      true,
+	"BenchmarkEngineSchedule":        true,
+	"BenchmarkFig2MultiCoreScaling":  true,
+	"BenchmarkFig4Scaling120G":       true,
+	"BenchmarkFlowTrackerMillion":    true,
+	"BenchmarkFlowTrackerChurn":      true,
 }
 
 // footprintGated marks gated benchmarks whose memory numbers are

@@ -55,6 +55,7 @@ type options struct {
 	telemetry   string
 	telemetryMS float64
 	telemetryDg bool
+	faults      string
 }
 
 // flagDefs is the single source of truth for the CLI flags: each entry
@@ -122,6 +123,9 @@ var flagDefs = []struct {
 	}},
 	{"-telemetry-diag", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
 		fs.BoolVar(&o.telemetryDg, "telemetry-diag", sp.TelemetryDiag, "include diagnostic columns (engine/pool internals; vary with -cores/-batch)")
+	}},
+	{"-faults PATH", func(fs *flag.FlagSet, o *options, sp scenario.Spec) {
+		fs.StringVar(&o.faults, "faults", "", "load a fault plan (a faults: block, YAML or JSON) onto the scenario")
 	}},
 }
 
@@ -207,6 +211,18 @@ func runScenario(name string, sp scenario.Spec, args []string) int {
 			return 2
 		}
 		sp.Flows = scenario.FlowSet(o.flows)
+	}
+
+	if o.faults != "" {
+		// A -faults file replaces the scenario's plan (if any) wholesale;
+		// Execute re-validates the merged spec, so a plan whose targets
+		// the topology lacks still fails closed before anything runs.
+		plan, err := spec.LoadFaults(o.faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		sp.Faults = plan
 	}
 
 	var telFile *os.File

@@ -77,7 +77,8 @@ func TestListDeterministicSortedDescribed(t *testing.T) {
 	want := []string{
 		"bursts", "cbr", "churn", "flood", "imix",
 		"interarrival-moongen", "interarrival-pktgen", "interarrival-zsend",
-		"latency", "loss-overload", "poisson", "qos", "reflect", "reorder",
+		"latency", "linkflap", "loss-overload", "overload-recover",
+		"poisson", "qos", "reflect", "reorder",
 		"softcbr", "timestamps",
 	}
 	have := map[string]bool{}

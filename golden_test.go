@@ -54,6 +54,11 @@ func reportCSV(w io.Writer, rep *scenario.Report) {
 	for _, f := range rep.Flows {
 		fmt.Fprintf(w, "flow,%s,tx=%d,rx=%d,lost=%d,reordered=%d,dup=%d",
 			f.Name, f.TxPackets, f.RxPackets, f.Lost, f.Reordered, f.Duplicates)
+		if f.LostDuringFault != 0 || f.LostInRecovery != 0 {
+			// The fault-boundary loss split, present only in fault-driven
+			// scenarios so fault-free goldens keep their line format.
+			fmt.Fprintf(w, ",lost_fault=%d,lost_recovery=%d", f.LostDuringFault, f.LostInRecovery)
+		}
 		if f.Latency != nil && f.Latency.Count() > 0 {
 			q1, q2, q3 := f.Latency.Quartiles()
 			fmt.Fprintf(w, ",latn=%d,q=%g/%g/%g", f.Latency.Count(),
@@ -188,5 +193,21 @@ func TestExperimentsGolden(t *testing.T) {
 	})
 	t.Run("telemetry-loss-overload", func(t *testing.T) {
 		goldenCompare(t, "telemetry_loss_overload.csv", goldenTelemetryCSV(t, "loss-overload"))
+	})
+	t.Run("linkflap", func(t *testing.T) {
+		var b strings.Builder
+		reportCSV(&b, runGoldenScenario(t, "linkflap", false))
+		goldenCompare(t, "linkflap.csv", b.String())
+	})
+	t.Run("overload-recover", func(t *testing.T) {
+		var b strings.Builder
+		reportCSV(&b, runGoldenScenario(t, "overload-recover", false))
+		goldenCompare(t, "overload_recover.csv", b.String())
+	})
+	// The linkflap telemetry golden includes the diagnostic columns, so
+	// the injector's recovery latency (fault.recovery_ns) is pinned
+	// byte-for-byte at the canonical two-core configuration.
+	t.Run("telemetry-linkflap", func(t *testing.T) {
+		goldenCompare(t, "telemetry_linkflap.csv", goldenTelemetryCSV(t, "linkflap"))
 	})
 }

@@ -96,6 +96,7 @@ type Forwarder struct {
 
 	intsEnabled  bool
 	polling      bool
+	stalled      bool // fault injection: servicing paused (Stall/Restart)
 	lastInt      sim.Time
 	itrInterval  sim.Duration
 	pktsThisInt  int
@@ -126,6 +127,7 @@ type Forwarder struct {
 	Forwarded    uint64
 	Dropped      uint64
 	TxRingDrops  uint64
+	Flushed      uint64 // backlog frames discarded by Restart(flush)
 	totalLatency sim.Duration
 
 	// interrupt timestamps for rate measurement windows
@@ -203,7 +205,7 @@ func (f *Forwarder) onFrame(fr *wire.Frame, rxTime sim.Time) bool {
 
 // maybeInterrupt fires or defers an interrupt respecting the throttle.
 func (f *Forwarder) maybeInterrupt() {
-	if f.polling || !f.intsEnabled || f.backlog.Len() == 0 {
+	if f.stalled || f.polling || !f.intsEnabled || f.backlog.Len() == 0 {
 		return
 	}
 	now := f.eng.Now()
@@ -236,6 +238,13 @@ func (f *Forwarder) fireInterrupt() {
 // pollRun processes packets NAPI-style. done counts packets handled in
 // the current budget slice.
 func (f *Forwarder) pollRun(done int) {
+	if f.stalled {
+		// The core stopped servicing mid-poll: abandon the chain. The
+		// backlog keeps filling (and tail-dropping) until Restart.
+		f.polling = false
+		f.intsEnabled = true
+		return
+	}
 	if f.backlog.Len() == 0 {
 		f.exitPoll()
 		return
@@ -295,6 +304,33 @@ func (f *Forwarder) forward(q queued) {
 	f.Forwarded++
 	f.totalLatency += f.eng.Now().Sub(q.arrived)
 }
+
+// Stall pauses servicing (fault injection: the DuT core stops
+// scheduling the forwarder). Arriving frames keep accumulating in the
+// backlog and tail-drop at BacklogLimit; no interrupt fires and any
+// in-flight poll chain abandons at its next step. Idempotent.
+func (f *Forwarder) Stall() { f.stalled = true }
+
+// Restart resumes servicing after a Stall. With flush set the backlog
+// is discarded first (a crashed process loses its queues; each frame
+// counted in Flushed); without it the accumulated backlog is serviced
+// normally. An interrupt is raised immediately if work is pending.
+// Idempotent when not stalled.
+func (f *Forwarder) Restart(flush bool) {
+	f.stalled = false
+	if flush {
+		for {
+			if _, ok := f.backlog.Pop(); !ok {
+				break
+			}
+			f.Flushed++
+		}
+	}
+	f.maybeInterrupt()
+}
+
+// Stalled reports whether servicing is paused.
+func (f *Forwarder) Stalled() bool { return f.stalled }
 
 // Backlog returns the current queue depth.
 func (f *Forwarder) Backlog() int { return f.backlog.Len() }

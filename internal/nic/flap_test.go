@@ -1,0 +1,79 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/mempool"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestLinkFlapTrainInvariance: a flap window under gapped (sub-line-
+// rate) load must produce the identical delivered/dropped partition
+// whether the MAC commits one frame per event or trains of 32. With a
+// slot spacing wider than the frame time the TX ring never holds more
+// than one frame, so the train fast path degenerates to per-packet
+// commits and the down-wire drop decision happens at each frame's own
+// emission instant — the property the linkflap scenario's batch
+// invariance rests on.
+func TestLinkFlapTrainInvariance(t *testing.T) {
+	const (
+		slot   = 500 * sim.Nanosecond // 2 Mpps
+		frames = 400
+	)
+	run := func(txTrain int) (arrivals []sim.Time, tx, delivered, dropped uint64) {
+		eng := sim.NewEngine(5)
+		a := NewPort(eng, PortConfig{Profile: ChipX540, ID: 0, TxTrain: txTrain})
+		b := NewPort(eng, PortConfig{Profile: ChipX540, ID: 1, TxTrain: txTrain})
+		ConnectDuplex(eng, a, b, wire.PHY10GBaseT, 2)
+		pool := mempool.New(mempool.Config{Count: 64})
+		b.SetDeliverHook(func(f *wire.Frame, at sim.Time) bool {
+			arrivals = append(arrivals, at)
+			return true
+		})
+		link := a.Link()
+		// One 60 µs down window starting mid-run, straddling ~120 slots.
+		eng.Schedule(sim.Time(50*sim.Microsecond), link.SetDown)
+		eng.Schedule(sim.Time(110*sim.Microsecond), link.SetUp)
+		q := a.GetTxQueue(0)
+		eng.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < frames; i++ {
+				p.SleepUntil(sim.Time(sim.Duration(i) * slot))
+				m := pool.Alloc(60)
+				pk := proto.UDPPacket{B: m.Payload()}
+				pk.Fill(proto.UDPPacketFill{PktLength: 60, UDPSrc: 7, UDPDst: 42,
+					IPSrc: proto.MustIPv4("10.0.0.1"), IPDst: proto.MustIPv4("10.0.0.2")})
+				if !q.SendOne(m) {
+					t.Error("TX ring refused a frame on the gapped grid")
+					return
+				}
+			}
+		})
+		eng.RunAll()
+		return arrivals, link.TxFrames, uint64(len(arrivals)), link.DroppedFrames
+	}
+
+	arr1, tx1, del1, drop1 := run(1)
+	arr32, tx32, del32, drop32 := run(32)
+
+	if tx1 != frames || tx32 != frames {
+		t.Fatalf("wire tx counts: %d / %d, want %d", tx1, tx32, frames)
+	}
+	if drop1 == 0 {
+		t.Fatal("flap window dropped nothing")
+	}
+	if del1+drop1 != tx1 || del32+drop32 != tx32 {
+		t.Fatalf("counters do not reconcile: %d+%d vs tx %d, %d+%d vs tx %d",
+			del1, drop1, tx1, del32, drop32, tx32)
+	}
+	if del1 != del32 || drop1 != drop32 {
+		t.Fatalf("train size changed the partition: delivered %d/%d, dropped %d/%d",
+			del1, del32, drop1, drop32)
+	}
+	for i := range arr1 {
+		if arr1[i] != arr32[i] {
+			t.Fatalf("arrival %d differs across train sizes: %v vs %v", i, arr1[i], arr32[i])
+		}
+	}
+}

@@ -91,6 +91,7 @@ type Port struct {
 	pumpScheduled bool
 	pumpAt        sim.Time
 	pumpFn        func()
+	txPaused      bool // MAC scheduler gated (PFC-style backpressure)
 	rrNext        int
 	fifoBytes     int // bytes fetched into the on-chip TX FIFO
 	lastTxStart   sim.Time

@@ -207,11 +207,36 @@ func (q *TxQueue) advance() {
 // extra event is invisible to the simulation. This is what keeps a
 // busy-waiting sender from scheduling one no-op pump per retry.
 func (p *Port) kickPump() {
+	if p.txPaused {
+		return // gated: ResumeTx re-evaluates the queues
+	}
 	if p.pumpScheduled && p.shaped == 0 && p.link != nil && p.pumpAt <= p.link.NextTxSlot() {
 		return
 	}
 	p.schedulePump(p.eng.Now())
 }
+
+// PauseTx gates the MAC transmit scheduler (fault injection modelling
+// PFC-style backpressure): armed evaluations no-op, new sends stop
+// kicking the pump, and frames accumulate in the descriptor rings
+// until ResumeTx. The wire grid (busyUntil) is untouched, so the
+// post-resume departure schedule depends only on the resume instant.
+// Idempotent.
+func (p *Port) PauseTx() { p.txPaused = true }
+
+// ResumeTx re-enables the MAC scheduler and immediately re-evaluates
+// the queues, draining whatever accumulated during the pause on the
+// exact wire grid from the resume instant. Idempotent.
+func (p *Port) ResumeTx() {
+	if !p.txPaused {
+		return
+	}
+	p.txPaused = false
+	p.schedulePump(p.eng.Now())
+}
+
+// TxPaused reports whether the MAC transmit scheduler is gated.
+func (p *Port) TxPaused() bool { return p.txPaused }
 
 // schedulePump arranges exactly one pending evaluation at the earliest
 // requested instant. An existing earlier-or-equal event already covers
@@ -255,6 +280,9 @@ func (p *Port) pumpEvent() {
 // the §7.2 shaper oscillation model untouched.
 func (p *Port) pump() {
 	p.pumpScheduled = false
+	if p.txPaused {
+		return // gated (PauseTx): frames wait in the rings
+	}
 	if p.link == nil {
 		return // unconnected port: frames pile up in the rings
 	}

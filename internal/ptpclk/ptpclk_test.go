@@ -182,3 +182,61 @@ func TestDefaultTick(t *testing.T) {
 		t.Fatalf("default tick = %v", c.Tick())
 	}
 }
+
+// TestDriftLongHorizon runs the drift model over simulated hours and
+// checks the accumulated offset against the analytic line
+// offset(t) = initial + t·ppm/1e6 at every checkpoint. The drift term
+// is computed in float64 over a picosecond epoch delta, so the error
+// budget is the float rounding at ~1e16 ps magnitudes (a few
+// picoseconds per hour) plus nothing else — a soak pin that the model
+// neither loses nor invents time at long horizons.
+func TestDriftLongHorizon(t *testing.T) {
+	const ppm = 35.0 // the paper's worst case (§6.3)
+	eng := sim.NewEngine(1)
+	initial := 50 * sim.Microsecond
+	c := New(eng, Config{TickNS: 6.4, DriftPPM: ppm, InitialOffset: initial})
+
+	hour := 3600 * sim.Second
+	for _, cp := range []sim.Duration{
+		30 * 60 * sim.Second, // 30 min
+		hour,
+		2 * hour,
+		4 * hour,
+		8 * hour,
+	} {
+		cp := cp
+		eng.Schedule(sim.Time(cp), func() {
+			elapsed := float64(cp)
+			want := initial + sim.Duration(elapsed*ppm/1e6)
+			got := c.Offset()
+			// Tolerance: float64 rounding on the ps-scale drift product.
+			// 8 h = 2.9e16 ps; one ulp there is 4 ps, and the multiply
+			// rounds once — stay generous at 1 ns.
+			if diff := got - want; diff < -sim.Nanosecond || diff > sim.Nanosecond {
+				t.Errorf("offset after %v = %v, want %v (analytic), diff %v", cp, got, want, diff)
+			}
+		})
+	}
+	eng.RunAll()
+}
+
+// TestDriftRateChangeLongHorizon: piecewise drift — a rate change
+// mid-run re-anchors the epoch, and the accumulated offset is the sum
+// of the per-segment analytic terms, again over hours.
+func TestDriftRateChangeLongHorizon(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Config{TickNS: 6.4, DriftPPM: 35})
+
+	hour := 3600 * sim.Second
+	// After 2 h at 35 ppm, renegotiate to -12 ppm.
+	eng.Schedule(sim.Time(2*hour), func() { c.SetDriftPPM(-12) })
+	eng.Schedule(sim.Time(5*hour), func() {
+		// 2 h at +35 ppm, then 3 h at -12 ppm.
+		want := sim.Duration(float64(2*hour)*35/1e6) + sim.Duration(float64(3*hour)*(-12)/1e6)
+		got := c.Offset()
+		if diff := got - want; diff < -sim.Nanosecond || diff > sim.Nanosecond {
+			t.Errorf("piecewise offset after 5h = %v, want %v, diff %v", got, want, diff)
+		}
+	})
+	eng.RunAll()
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/mempool"
 	"repro/internal/nic"
@@ -35,6 +36,7 @@ type Env struct {
 	fwd   *dut.Forwarder
 	ts    *core.Timestamper
 	rec   *telemetry.Recorder
+	inj   *fault.Injector
 }
 
 // NewEnv prepares an environment for spec. The testbed itself is built
@@ -80,6 +82,19 @@ func (e *Env) build() {
 		e.rx = e.app.ConfigDevice(core.DeviceConfig{Profile: nic.ChipX540, ID: 1, RxRing: 8192, RxPool: 16384})
 		e.app.ConnectDevices(e.tx, e.rx, wire.PHY10GBaseT, 2)
 	}
+	if len(e.Spec.Faults) > 0 {
+		// The injector targets the canonical fault surfaces of the bed:
+		// the generator's transmit wire and pump, the DuT forwarder when
+		// one is in the path, and the receive port's PTP clock. The plan
+		// is scheduled onto the engine in RunAndCollect, once the run
+		// horizon is known.
+		e.inj = fault.New(e.app.Eng, fault.Targets{
+			Link:  e.tx.Link(),
+			Port:  e.tx.Port,
+			Fwd:   e.fwd,
+			Clock: e.rx.Port.Clock,
+		}, e.Spec.Faults)
+	}
 	if e.Spec.TelemetryInterval > 0 {
 		e.rec = telemetry.NewRecorder(e.app.Eng, telemetry.Config{
 			Interval:    e.Spec.TelemetryInterval,
@@ -89,6 +104,12 @@ func (e *Env) build() {
 		})
 		e.rec.Register(telemetry.PortProbe("tx", e.tx.Port))
 		e.rec.Register(telemetry.PortProbe("rx", e.rx.Port))
+		if e.inj != nil {
+			// Registered right after the port probes so the fault
+			// columns hold a deterministic position in the series at
+			// any core count.
+			e.rec.Register(telemetry.FaultProbe(e.inj))
+		}
 	}
 }
 
@@ -108,6 +129,10 @@ func (e *Env) RX() *core.Device { e.build(); return e.rx }
 
 // Fwd returns the DuT forwarder (nil without UseDuT).
 func (e *Env) Fwd() *dut.Forwarder { e.build(); return e.fwd }
+
+// FaultInjector returns the fault injector driving Spec.Faults, nil
+// when the spec carries no fault plan.
+func (e *Env) FaultInjector() *fault.Injector { e.build(); return e.inj }
 
 // Timestamper returns the probe timestamper: TX's last queue into the
 // receive port's PTP latch (the paper's two-queue arrangement, §6.4).
@@ -284,6 +309,12 @@ func (e *Env) LaunchProbes(rep *Report) {
 func (e *Env) RunAndCollect(rep *Report) {
 	e.build()
 	window := e.Spec.Runtime
+	if e.inj != nil {
+		// The plan unrolls onto the wheel before the recorder's first
+		// tick is armed, so fault onsets coinciding with a window edge
+		// order identically in every shard.
+		e.inj.Install(e.app.Now(), window)
+	}
 	if e.rec != nil {
 		// Engine and pool probes register last so their diagnostic
 		// columns trail the model columns, and Start arms the first

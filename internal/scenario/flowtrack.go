@@ -100,6 +100,12 @@ func (a admission) admitted(j uint64) bool {
 type flowTxConfig struct {
 	// admit, when non-nil, gates each global slot (loss-overload).
 	admit func(j uint64) bool
+	// slotTime, when non-nil, gives slot j's departure offset from the
+	// run start — a pure, monotone function of the global slot index.
+	// It replaces the uniform interval/phase grid, which is how a
+	// scenario models a time-varying offered rate (overload-recover's
+	// ramp) while keeping every shard on the exact same global grid.
+	slotTime func(j uint64) sim.Duration
 	// stampSeq maps a flow-local sequence to the stamped sequence
 	// (reorder displacement); nil is identity.
 	stampSeq func(s uint64) uint64
@@ -175,16 +181,22 @@ func launchFlowTx(env *Env, cfg flowTxConfig) (*flowTxResult, error) {
 			res.sent[fi]++
 			return true
 		}
-		next := t.Now().Add(phase)
+		start := t.Now()
+		next := start.Add(phase)
 		var n uint64
 		for t.Running() {
+			j := uint64(index) + n*uint64(stride)
+			if cfg.slotTime != nil {
+				next = start.Add(cfg.slotTime(j))
+			}
 			t.SleepUntil(next)
 			if !t.Running() {
 				break
 			}
-			j := uint64(index) + n*uint64(stride)
 			n++
-			next = next.Add(interval)
+			if cfg.slotTime == nil {
+				next = next.Add(interval)
+			}
 			fi := int(j % uint64(F))
 			s := j / uint64(F)
 			if cfg.admit != nil && !cfg.admit(j) {

@@ -79,6 +79,17 @@ func Execute(name string, spec Spec, out io.Writer) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 	}
+	// Fault plans are validated fail-closed before anything runs: a
+	// malformed plan (or one whose targets the topology cannot
+	// provide) must never degrade into a partially injected run.
+	if len(spec.Faults) > 0 {
+		if err := spec.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		if spec.Faults.RequiresDuT() && !spec.UseDuT {
+			return nil, fmt.Errorf("scenario %s: fault plan contains dut-stall events but the topology has no DuT", name)
+		}
+	}
 	var (
 		rep *Report
 		err error

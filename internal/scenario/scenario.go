@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -169,6 +170,14 @@ type Spec struct {
 	// and Cores by design; the default stream carries only model
 	// columns, which are invariant.
 	TelemetryDiag bool
+	// Faults is the deterministic fault plan injected into the run
+	// (link flaps, DuT stalls, queue pauses, clock steps — see
+	// internal/fault). The plan is stated in global sim time, so a
+	// sharded run applies the identical plan to every shard's private
+	// testbed: fault events are global, which is what keeps the merged
+	// model telemetry invariant in Cores. Execute validates the plan
+	// fail-closed before the run starts.
+	Faults fault.Plan
 }
 
 // withDefaults fills the zero fields every scenario relies on.
@@ -263,6 +272,14 @@ type FlowReport struct {
 	Lost       uint64
 	Reordered  uint64
 	Duplicates uint64
+	// LostDuringFault / LostInRecovery split Lost across a fault
+	// boundary when the scenario attributes losses to a fault window
+	// (overload-recover): during = slots rejected at the fault's
+	// bottleneck while it was active, recovery = the remainder of the
+	// tracker's sequence gaps. Zero when the scenario does not
+	// attribute losses.
+	LostDuringFault uint64
+	LostInRecovery  uint64
 	// Latency holds the flow's probe histogram when measured.
 	Latency *stats.Histogram
 }
@@ -324,6 +341,9 @@ func (r *Report) Print(w io.Writer) {
 		fmt.Fprintf(w, "  flow %-8s tx %d rx %d", f.Name, f.TxPackets, f.RxPackets)
 		if f.Lost != 0 || f.Reordered != 0 || f.Duplicates != 0 {
 			fmt.Fprintf(w, " lost %d reordered %d dup %d", f.Lost, f.Reordered, f.Duplicates)
+		}
+		if f.LostDuringFault != 0 || f.LostInRecovery != 0 {
+			fmt.Fprintf(w, " lost-during-fault %d lost-in-recovery %d", f.LostDuringFault, f.LostInRecovery)
 		}
 		if f.Latency != nil && f.Latency.Count() > 0 {
 			q1, q2, q3 := f.Latency.Quartiles()

@@ -55,6 +55,10 @@ func (s Spec) ShardSpec(i, k int) Spec {
 	}
 	out.Probes = share(s.Probes, i, k)
 	out.Samples = share(s.Samples, i, k)
+	// Faults pass through unchanged (the struct copy shares the
+	// read-only plan): fault events are global sim-time events, so
+	// every shard applies the identical plan to its private testbed —
+	// never a rate-split share of it.
 	// A per-shard stream would carry partial counters; the merged
 	// series in the final report is the sharded run's telemetry.
 	out.TelemetryStream = nil
@@ -146,6 +150,8 @@ func MergeReports(reps []*Report) *Report {
 			out.Flows[i].Lost += f.Lost
 			out.Flows[i].Reordered += f.Reordered
 			out.Flows[i].Duplicates += f.Duplicates
+			out.Flows[i].LostDuringFault += f.LostDuringFault
+			out.Flows[i].LostInRecovery += f.LostInRecovery
 			if f.Latency != nil && f.Latency.Count() > 0 {
 				if out.Flows[i].Latency == nil {
 					out.Flows[i].Latency = stats.NewHistogram(f.Latency.BinWidth)

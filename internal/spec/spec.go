@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -68,6 +69,9 @@ type Document struct {
 	telemetryInterval *sim.Duration
 	telemetryDiag     *bool
 
+	faults    fault.Plan
+	hasFaults bool
+
 	runtimeLine    int
 	coresLine      int
 	patternLine    int
@@ -75,6 +79,7 @@ type Document struct {
 	sizeLine       int
 	flowsLine      int
 	churnFlowsLine int
+	faultsLine     int
 }
 
 // Load reads and parses a spec file (YAML by default, JSON when the
@@ -107,6 +112,53 @@ func Parse(src []byte, name string) (*Document, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// LoadFaults reads a standalone fault-plan file: a document whose root
+// holds only a `faults:` block, in exactly the schema the spec file's
+// block uses. The CLI's -faults flag loads one onto any scenario.
+func LoadFaults(path string) (fault.Plan, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFaults(src, filepath.Base(path))
+}
+
+// ParseFaults parses a standalone fault plan from bytes; name labels
+// error messages. The plan is validated fail-closed, target
+// availability aside (that needs the topology and happens at Execute).
+func ParseFaults(src []byte, name string) (fault.Plan, error) {
+	var (
+		root *node
+		err  error
+	)
+	if isJSON(src, name) {
+		root, err = parseJSON(name, src)
+	} else {
+		root, err = parseYAML(name, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{File: name}
+	if root.kind != mapNode {
+		return nil, d.errAt(root.line, "a fault-plan file must be a mapping with a \"faults\" block, got a %s", root.kindName())
+	}
+	if err := d.checkKeys(root, []string{"faults"}, ""); err != nil {
+		return nil, err
+	}
+	n, line, ok := root.get("faults")
+	if !ok {
+		return nil, d.errAt(1, "missing required key \"faults\" (a list of fault event mappings)")
+	}
+	if err := d.walkFaults(n, line); err != nil {
+		return nil, err
+	}
+	if err := d.faults.Validate(); err != nil {
+		return nil, d.errAt(line, "faults: %v", err)
+	}
+	return d.faults, nil
 }
 
 // Validate parses and compiles a spec, returning the first error. This
@@ -188,6 +240,11 @@ func (d *Document) Compile() (string, scenario.Spec, error) {
 	if d.telemetryDiag != nil {
 		s.TelemetryDiag = *d.telemetryDiag
 	}
+	if d.hasFaults {
+		// An explicit `faults:` block replaces the scenario's default
+		// plan entirely — `faults: []` runs the scenario fault-free.
+		s.Faults = d.faults
+	}
 	if err := d.check(sc, s); err != nil {
 		return "", scenario.Spec{}, err
 	}
@@ -261,9 +318,22 @@ func (d *Document) check(sc scenario.Scenario, s scenario.Spec) error {
 	// only flow-preserving when cores divides the flow population.
 	// Catching it here anchors the error to the spec line instead of
 	// failing later inside the run.
+	// Fault plans are fail-closed at load time: a plan the injector
+	// would reject (or one whose targets the topology cannot provide)
+	// is a spec error with a line anchor, not a runtime surprise.
+	if len(s.Faults) > 0 {
+		if err := s.Faults.Validate(); err != nil {
+			return d.errAt(anchor(d.faultsLine), "faults: %v", err)
+		}
+		if s.Faults.RequiresDuT() && !s.UseDuT {
+			return d.errAt(anchor(d.faultsLine),
+				"faults: the plan contains dut-stall events but the topology has no DuT — set topology.dut: true")
+		}
+	}
+
 	if s.Cores > 1 {
 		switch d.Scenario {
-		case "loss-overload", "reorder":
+		case "loss-overload", "reorder", "linkflap", "overload-recover":
 			n := len(s.EffectiveFlows())
 			if n%s.Cores != 0 {
 				return d.errAt(anchor(d.coresLine),
@@ -331,7 +401,7 @@ func (d *Document) errAt(line int, format string, args ...any) error {
 // Schema walk
 // ---------------------------------------------------------------------
 
-var topKeys = []string{"version", "scenario", "description", "seed", "runtime", "cores", "batch", "load", "flows", "churn", "probes", "topology", "telemetry"}
+var topKeys = []string{"version", "scenario", "description", "seed", "runtime", "cores", "batch", "load", "flows", "churn", "probes", "topology", "telemetry", "faults"}
 var loadKeys = []string{"pattern", "rate", "size", "burst", "steps", "mix"}
 var mixKeys = []string{"size", "weight"}
 var flowKeys = []string{"name", "l4", "src_ip", "src_ip_count", "dst_ip", "src_port", "dst_port", "tos", "rate", "size"}
@@ -339,6 +409,7 @@ var churnKeys = []string{"flows", "life"}
 var probesKeys = []string{"latency", "samples"}
 var topologyKeys = []string{"dut"}
 var telemetryKeys = []string{"interval", "diag"}
+var faultKeys = []string{"kind", "at", "duration", "period", "count", "flush", "offset", "drift_ppm"}
 
 func (d *Document) walk(root *node) error {
 	if root.kind != mapNode {
@@ -432,6 +503,11 @@ func (d *Document) walk(root *node) error {
 	}
 	if n, line, ok := root.get("telemetry"); ok {
 		if err := d.walkTelemetry(n, line); err != nil {
+			return err
+		}
+	}
+	if n, line, ok := root.get("faults"); ok {
+		if err := d.walkFaults(n, line); err != nil {
 			return err
 		}
 	}
@@ -718,6 +794,100 @@ func (d *Document) walkTelemetry(n *node, line int) error {
 	return nil
 }
 
+// walkFaults reads the `faults:` block — a list of typed fault events
+// executed on the run's global sim-time grid (see internal/fault). The
+// walk checks keys, types and units per event; plan-level coherence
+// (window/period arithmetic, kind-specific field rules, target
+// availability) runs in check against the merged spec, still anchored
+// to this block's line.
+func (d *Document) walkFaults(n *node, line int) error {
+	if n.kind != listNode {
+		return d.errAt(line, "faults: expected a list of fault event mappings, got a %s", n.kindName())
+	}
+	d.faultsLine = line
+	d.hasFaults = true
+	d.faults = make(fault.Plan, 0, len(n.items))
+	for _, item := range n.items {
+		if item.kind != mapNode {
+			return d.errAt(item.line, "faults: each entry must be a mapping, got a %s", item.kindName())
+		}
+		if err := d.checkKeys(item, faultKeys, "faults."); err != nil {
+			return err
+		}
+		var ev fault.Event
+		kn, kline, ok := item.get("kind")
+		if !ok {
+			return d.errAt(item.line, "faults: event is missing \"kind\" (one of: linkflap, dut-stall, queue-pause, clock-step)")
+		}
+		kind, err := d.strField(kn, kline, "faults.kind")
+		if err != nil {
+			return err
+		}
+		switch fault.Kind(kind) {
+		case fault.LinkFlap, fault.DuTStall, fault.QueuePause, fault.ClockStep:
+			ev.Kind = fault.Kind(kind)
+		default:
+			return d.errAt(kline, "faults.kind: unknown fault kind %q (one of: linkflap, dut-stall, queue-pause, clock-step)", kind)
+		}
+		if an, aline, ok := item.get("at"); ok {
+			v, err := d.durFieldZero(an, aline, "faults.at")
+			if err != nil {
+				return err
+			}
+			ev.At = v
+		}
+		if dn, dline, ok := item.get("duration"); ok {
+			v, err := d.durField(dn, dline, "faults.duration")
+			if err != nil {
+				return err
+			}
+			ev.Duration = v
+		}
+		if pn, pline, ok := item.get("period"); ok {
+			v, err := d.durField(pn, pline, "faults.period")
+			if err != nil {
+				return err
+			}
+			ev.Period = v
+		}
+		if cn, cline, ok := item.get("count"); ok {
+			v, err := d.intField(cn, cline, "faults.count", 1, math.MaxInt32)
+			if err != nil {
+				return err
+			}
+			ev.Count = int(v)
+		}
+		if fn, fline, ok := item.get("flush"); ok {
+			v, err := d.boolField(fn, fline, "faults.flush")
+			if err != nil {
+				return err
+			}
+			ev.Flush = v
+		}
+		if on, oline, ok := item.get("offset"); ok {
+			// A clock step may go backwards: signed duration.
+			v, err := d.durFieldSigned(on, oline, "faults.offset")
+			if err != nil {
+				return err
+			}
+			ev.Offset = v
+		}
+		if rn, rline, ok := item.get("drift_ppm"); ok {
+			raw, err := d.scalar(rn, rline, "faults.drift_ppm")
+			if err != nil {
+				return err
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return d.errAt(rline, "faults.drift_ppm: %q is not a number", raw)
+			}
+			ev.DriftPPM = v
+		}
+		d.faults = append(d.faults, ev)
+	}
+	return nil
+}
+
 // checkKeys rejects keys outside the allowed set, with a "did you
 // mean" suggestion when a known key is within edit distance 2. The
 // schema is fail-closed on purpose: a typoed key that silently
@@ -844,6 +1014,32 @@ func (d *Document) frameSize(n *node, line int, field string) (int, error) {
 // "2s", "100us", "500ns". A bare number is rejected — durations
 // without units have caused enough outages elsewhere.
 func (d *Document) durField(n *node, line int, field string) (sim.Duration, error) {
+	dur, err := d.durFieldSigned(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	if dur <= 0 {
+		return 0, d.errAt(line, "%s: duration must be positive, got %v", field, dur)
+	}
+	return dur, nil
+}
+
+// durFieldZero is durField but admits zero ("at: 0ms" — a fault at the
+// exact run start).
+func (d *Document) durFieldZero(n *node, line int, field string) (sim.Duration, error) {
+	dur, err := d.durFieldSigned(n, line, field)
+	if err != nil {
+		return 0, err
+	}
+	if dur < 0 {
+		return 0, d.errAt(line, "%s: duration must be ≥ 0, got %v", field, dur)
+	}
+	return dur, nil
+}
+
+// durFieldSigned reads a duration that may be negative (a clock step
+// backwards). Units are still mandatory.
+func (d *Document) durFieldSigned(n *node, line int, field string) (sim.Duration, error) {
 	raw, err := d.scalar(n, line, field)
 	if err != nil {
 		return 0, err
@@ -868,11 +1064,7 @@ func (d *Document) durField(n *node, line int, field string) (sim.Duration, erro
 	if err != nil || num == "" {
 		return 0, d.errAt(line, "%s: %q is not a duration — write e.g. \"50ms\"", field, raw)
 	}
-	dur := sim.Duration(math.Round(v * float64(scale)))
-	if dur <= 0 {
-		return 0, d.errAt(line, "%s: duration must be positive, got %q", field, raw)
-	}
-	return dur, nil
+	return sim.Duration(math.Round(v * float64(scale))), nil
 }
 
 // rateField reads a packet rate in Mpps: "2mpps", "500kpps",

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -249,6 +250,56 @@ func TestValidateNegative(t *testing.T) {
 			"version: 1\nscenario: softcbr\nruntime: -5ms\n",
 			[]string{"t.yaml:3:", "must be positive"},
 		},
+		{
+			"unknown fault key",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: linkflap\n    duration: 1ms\n    durration: 2ms\n",
+			[]string{"t.yaml:6:", `unknown key "faults.durration"`, `did you mean "faults.duration"`},
+		},
+		{
+			"unknown fault kind",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: meteor\n    duration: 1ms\n",
+			[]string{"t.yaml:4:", `unknown fault kind "meteor"`, "linkflap, dut-stall, queue-pause, clock-step"},
+		},
+		{
+			"fault missing kind",
+			"version: 1\nscenario: linkflap\nfaults:\n  - duration: 1ms\n",
+			[]string{"t.yaml:4:", `missing "kind"`},
+		},
+		{
+			"fault duration without unit",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: linkflap\n    duration: 5\n",
+			[]string{"t.yaml:5:", "missing a unit"},
+		},
+		{
+			"windowed fault without duration",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: linkflap\n    at: 1ms\n",
+			[]string{"t.yaml:3:", "faults:", "duration must be positive"},
+		},
+		{
+			"fault period under duration",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: linkflap\n    duration: 2ms\n    period: 1ms\n",
+			[]string{"t.yaml:3:", "must exceed the duration"},
+		},
+		{
+			"clock step without offset or drift",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: clock-step\n    at: 1ms\n",
+			[]string{"t.yaml:3:", "needs an offset or a drift rate"},
+		},
+		{
+			"dut-stall without a dut topology",
+			"version: 1\nscenario: linkflap\nfaults:\n  - kind: dut-stall\n    at: 1ms\n    duration: 1ms\n",
+			[]string{"t.yaml:3:", "dut-stall", "topology.dut"},
+		},
+		{
+			"uneven linkflap sharding",
+			"version: 1\nscenario: linkflap\ncores: 3\n",
+			[]string{"t.yaml:3:", "cores: 3 does not divide the flow count (4)", "linkflap"},
+		},
+		{
+			"uneven overload-recover sharding",
+			"version: 1\nscenario: overload-recover\ncores: 3\n",
+			[]string{"t.yaml:3:", "cores: 3 does not divide the flow count (4)", "overload-recover"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -315,4 +366,73 @@ func TestSplitUnit(t *testing.T) {
 			t.Errorf("splitUnit(%q) = (%q, %q), want (%q, %q)", tc.in, num, unit, tc.num, tc.unit)
 		}
 	}
+}
+
+func TestCompileFaults(t *testing.T) {
+	src := `
+version: 1
+scenario: linkflap
+runtime: 10ms
+faults:
+  - kind: linkflap
+    at: 2ms
+    duration: 1ms
+    period: 4ms
+    count: 2
+  - kind: clock-step
+    at: 3ms
+    offset: -250us
+    drift_ppm: 35
+`
+	d, err := Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, s, err := d.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "linkflap" {
+		t.Fatalf("scenario = %q", name)
+	}
+	if len(s.Faults) != 2 {
+		t.Fatalf("plan length = %d, want 2 (the block replaces the default plan)", len(s.Faults))
+	}
+	ev := s.Faults[0]
+	if ev.Kind != fault.LinkFlap || ev.At != 2*sim.Millisecond || ev.Duration != sim.Millisecond ||
+		ev.Period != 4*sim.Millisecond || ev.Count != 2 {
+		t.Fatalf("event 0 = %+v", ev)
+	}
+	ev = s.Faults[1]
+	if ev.Kind != fault.ClockStep || ev.Offset != -250*sim.Microsecond || ev.DriftPPM != 35 {
+		t.Fatalf("event 1 = %+v", ev)
+	}
+}
+
+func TestFaultsBlockReplacesDefaultPlan(t *testing.T) {
+	// Without a faults block, linkflap keeps its registered default.
+	_, s, err := mustParse(t, "version: 1\nscenario: linkflap\n").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) == 0 {
+		t.Fatal("default plan missing without a faults block")
+	}
+	// An explicit empty list runs the scenario fault-free.
+	_, s, err = mustParse(t, "version: 1\nscenario: linkflap\nfaults: []\n").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 0 {
+		t.Fatalf("faults: [] left %d events in the plan", len(s.Faults))
+	}
+}
+
+func mustParse(t *testing.T, src string) *Document {
+	t.Helper()
+	d, err := Parse([]byte(src), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/mempool"
 	"repro/internal/nic"
@@ -100,6 +101,24 @@ func FlowProbe(tr *flow.Tracker, flows []FlowCol) Probe {
 		}
 	}
 	return Probe{Name: "flow", Cols: cols}
+}
+
+// FaultProbe samples a fault injector's lifecycle counters. The merge
+// rules encode the fault layer's sharding contract: a plan is stated
+// in global sim time and every shard executes the identical plan, so
+// `fired` is a per-plan quantity (RuleMax reproduces the single-core
+// value exactly), while `frames_dropped` counts each shard's own
+// traffic lost at the fault boundary (RuleSum, invariant because the
+// global slot grid partitions across shards). Recovery latency and the
+// open-window count are diagnostics — properties of the plan's
+// execution, recorded for soak observability.
+func FaultProbe(in *fault.Injector) Probe {
+	return Probe{Name: "fault", Cols: []Column{
+		{Name: "fired", Rule: RuleMax, Sample: in.Fired},
+		{Name: "frames_dropped", Rule: RuleSum, Sample: in.FramesDropped},
+		{Name: "active", Rule: RuleMax, Diag: true, Sample: in.ActiveFaults},
+		{Name: "recovery_ns", Rule: RuleMax, Diag: true, Sample: in.MaxRecoveryNS},
+	}}
 }
 
 // EngineProbe samples the scheduler's internal counters. All columns

@@ -206,13 +206,19 @@ type Link struct {
 	jitterRNG *rand.Rand
 
 	// pending is the in-flight FIFO (a serial link preserves order).
-	// Exactly one delivery event is outstanding, for the head frame;
-	// deliverFn is the prebound callback so the steady state schedules
-	// deliveries without any closure allocation.
-	pending   ring.FIFO[delivery]
-	deliverFn func()
-	lastRx    sim.Time
-	slack     sim.Duration // delivery-train deferral (see SetDeliverySlack)
+	// At most one delivery event is outstanding (deliverArmed), for the
+	// head frame; deliverFn is the prebound callback so the steady state
+	// schedules deliveries without any closure allocation.
+	pending      ring.FIFO[delivery]
+	deliverFn    func()
+	deliverArmed bool
+	lastRx       sim.Time
+	slack        sim.Duration // delivery-train deferral (see SetDeliverySlack)
+
+	// down marks the link administratively down (fault injection): the
+	// TX side keeps its serialization grid, but every frame is dropped
+	// at the wire instead of delivered. See SetDown/SetUp.
+	down bool
 
 	// freeFrames recycles delivered frames (bounded; see release).
 	freeFrames []*Frame
@@ -226,6 +232,13 @@ type Link struct {
 	// TxFrames / TxBytes count what was put on the wire.
 	TxFrames uint64
 	TxBytes  uint64
+
+	// DroppedFrames / DroppedBytes count frames lost to a down link:
+	// in-flight frames drained when the link went down plus frames
+	// transmitted into the dead wire. The reconciliation invariant is
+	// TxFrames == delivered + DroppedFrames.
+	DroppedFrames uint64
+	DroppedBytes  uint64
 }
 
 // NewLink creates a unidirectional link.
@@ -294,6 +307,14 @@ func (l *Link) TransmitAt(f *Frame, start sim.Time) sim.Time {
 	l.TxFrames++
 	l.TxBytes += uint64(f.WireSize)
 
+	if l.down {
+		// The MAC keeps its serialization grid (busyUntil advanced as
+		// usual) but the wire is dead: the frame is dropped here, counted
+		// exactly once, and never reaches the peer.
+		l.drop(f)
+		return l.busyUntil
+	}
+
 	rxTime := start.Add(l.pathLat)
 	if l.hasJitter {
 		// Inlined PHYProfile.Jitter over the hoisted parameters: same
@@ -354,10 +375,11 @@ func (l *Link) SetDeliverySlack(d sim.Duration) {
 }
 
 // push appends to the in-flight FIFO and arms the head delivery event
-// when the FIFO was empty. rxTimes are monotonic (see TransmitAt), so a
-// single outstanding event per link suffices.
+// when none is outstanding. rxTimes are monotonic (see TransmitAt), so
+// a single outstanding event per link suffices.
 func (l *Link) push(f *Frame, at sim.Time) {
-	if l.pending.Len() == 0 {
+	if !l.deliverArmed {
+		l.deliverArmed = true
 		l.eng.Schedule(at.Add(l.slack), l.deliverFn)
 	}
 	l.pending.Push(delivery{f: f, at: at})
@@ -367,7 +389,10 @@ func (l *Link) push(f *Frame, at sim.Time) {
 // slack, if set): it delivers every due frame in FIFO order, recycles
 // non-retained frames, and re-arms itself for the next pending frame.
 // A StatsFlusher endpoint gets one FlushStats call after the train.
+// After a link-down drained the FIFO the stale event finds it empty
+// and disarms harmlessly.
 func (l *Link) deliver() {
+	l.deliverArmed = false
 	now := l.eng.Now()
 	delivered := false
 	for {
@@ -376,6 +401,7 @@ func (l *Link) deliver() {
 			break
 		}
 		if d.at > now {
+			l.deliverArmed = true
 			l.eng.Schedule(d.at.Add(l.slack), l.deliverFn)
 			break
 		}
@@ -391,6 +417,44 @@ func (l *Link) deliver() {
 		l.peerFlush()
 	}
 }
+
+// drop counts a frame lost at the fault boundary and recycles it.
+func (l *Link) drop(f *Frame) {
+	l.DroppedFrames++
+	l.DroppedBytes += uint64(f.WireSize)
+	if !f.retained && len(l.freeFrames) < 1024 {
+		f.Data = f.Data[:0]
+		l.freeFrames = append(l.freeFrames, f)
+	}
+}
+
+// SetDown takes the link down (fault injection). Frames in flight are
+// dropped immediately — each counted exactly once in DroppedFrames —
+// and every subsequent TransmitAt drops at the wire until SetUp. The
+// TX serialization grid (NextTxSlot/busyUntil) is unaffected, so the
+// MAC scheduler's timing is identical whether the wire is alive or
+// dead — which is what keeps link-flap runs batch/train invariant.
+// Idempotent.
+func (l *Link) SetDown() {
+	if l.down {
+		return
+	}
+	l.down = true
+	for {
+		d, ok := l.pending.Pop()
+		if !ok {
+			break
+		}
+		l.drop(d.f)
+	}
+}
+
+// SetUp restores the link. Frames transmitted from now on are
+// delivered normally. Idempotent.
+func (l *Link) SetUp() { l.down = false }
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
 
 // Utilization returns the fraction of wire time used so far.
 func (l *Link) Utilization() float64 {

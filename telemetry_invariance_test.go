@@ -119,3 +119,53 @@ func TestTelemetryLossOverloadInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestTelemetryLinkFlapInvariant: fault events are global sim-time
+// events, so every shard flaps its private wire at the identical
+// instants and the dropped-frame set is the same global-slot partition
+// at any core count. At the scenario's 2 Mpps the delivery instants
+// keep more margin to the flap and window edges than the copper PHY's
+// jitter range, so the full model series — fault columns included — is
+// byte-identical across Cores {1,2,4} × Batch {1,32}, like softcbr.
+func TestTelemetryLinkFlapInvariant(t *testing.T) {
+	want := telemetryCSV(t, "linkflap", 1, 1)
+	if !strings.Contains(strings.Split(want, "\n")[0], "fault.fired") {
+		t.Fatalf("fault probe columns missing from the linkflap series:\n%s", want)
+	}
+	for _, cfg := range invarianceConfigs[1:] {
+		if got := telemetryCSV(t, "linkflap", cfg.cores, cfg.batch); got != want {
+			t.Errorf("cores=%d batch=%d: telemetry differs from the 1-core series\n want:\n%s\n got:\n%s",
+				cfg.cores, cfg.batch, want, got)
+		}
+	}
+}
+
+// TestTelemetryOverloadRecoverInvariant: the ramp grid and the
+// overload window's admission gate are pure functions of the global
+// slot index, so the transmit and flow columns are byte-identical
+// across shardings; the receive-port ingress columns are excluded from
+// the cross-core comparison for the same wire-timing reason as
+// loss-overload (the overload window runs the shared wire at exactly
+// line rate). Batch invariance holds in full at every core count.
+func TestTelemetryOverloadRecoverInvariant(t *testing.T) {
+	dropRxPort := func(name string) bool { return strings.HasPrefix(name, "rx.") }
+	base := telemetryCSV(t, "overload-recover", 1, 1)
+	want := dropCSVColumns(t, base, dropRxPort)
+	for _, cfg := range invarianceConfigs[1:] {
+		got := telemetryCSV(t, "overload-recover", cfg.cores, cfg.batch)
+		if cfg.cores == 1 && got != base {
+			t.Errorf("batch=%d: telemetry differs from the batch=1 series at one core", cfg.batch)
+		}
+		if reduced := dropCSVColumns(t, got, dropRxPort); reduced != want {
+			t.Errorf("cores=%d batch=%d: tx/flow columns differ from the 1-core series\n want:\n%s\n got:\n%s",
+				cfg.cores, cfg.batch, want, reduced)
+		}
+	}
+	for _, cores := range []int{2, 4} {
+		b1 := telemetryCSV(t, "overload-recover", cores, 1)
+		b32 := telemetryCSV(t, "overload-recover", cores, 32)
+		if b1 != b32 {
+			t.Errorf("cores=%d: batch 1 vs 32 telemetry differs\n b1:\n%s\n b32:\n%s", cores, b1, b32)
+		}
+	}
+}
